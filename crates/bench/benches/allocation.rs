@@ -1,0 +1,124 @@
+//! Figures 2–5 and §7.4 at reduced scale.
+//!
+//! Each benchmark runs a shortened (15 s simulated) version of the
+//! corresponding experiment and asserts its paper-shape property, so
+//! `cargo bench` both times the harness and re-validates the series. The
+//! full-length (600 s) series come from the `fig2`/`fig3`/`min_capacity`
+//! binaries in `speakup-exp`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speakup_exp::scenario::Mode;
+use speakup_exp::scenarios::{fig2, fig3};
+use speakup_net::time::SimDuration;
+use std::hint::black_box;
+
+const SECS: u64 = 15;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_allocation_vs_bandwidth_fraction");
+    g.sample_size(10);
+    for f in [0.1f64, 0.5, 0.9] {
+        g.bench_with_input(BenchmarkId::new("with_speakup", f), &f, |b, &f| {
+            b.iter(|| {
+                let s = fig2(f, Mode::Auction).duration(SimDuration::from_secs(SECS));
+                let r = speakup_exp::run(&s);
+                // Shape: within striking distance of the ideal line f.
+                assert!(
+                    (r.good_fraction() - f).abs() < 0.25,
+                    "f={f}: {}",
+                    r.good_fraction()
+                );
+                black_box(r.good_fraction())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("without_speakup", f), &f, |b, &f| {
+            b.iter(|| {
+                let s = fig2(f, Mode::Off).duration(SimDuration::from_secs(SECS));
+                let r = speakup_exp::run(&s);
+                // Shape: far below the ideal line (except trivially at f→1).
+                if f <= 0.5 {
+                    assert!(r.good_fraction() < f * 0.7, "f={f}: {}", r.good_fraction());
+                }
+                black_box(r.good_fraction())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_provisioning_regimes");
+    g.sample_size(10);
+    for cap in [50.0f64, 100.0, 200.0] {
+        g.bench_with_input(BenchmarkId::new("on", cap as u64), &cap, |b, &cap| {
+            b.iter(|| {
+                let s = fig3(cap, Mode::Auction).duration(SimDuration::from_secs(SECS));
+                let r = speakup_exp::run(&s);
+                if cap >= 200.0 {
+                    assert!(
+                        r.good_served_fraction() > 0.9,
+                        "{}",
+                        r.good_served_fraction()
+                    );
+                } else {
+                    assert!(
+                        (0.3..0.65).contains(&r.good_fraction()),
+                        "{}",
+                        r.good_fraction()
+                    );
+                }
+                black_box(r.good_fraction())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4_fig5_prices(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_fig5_latency_and_price");
+    g.sample_size(10);
+    for cap in [50.0f64, 200.0] {
+        g.bench_with_input(
+            BenchmarkId::new("price_and_payment_time", cap as u64),
+            &cap,
+            |b, &cap| {
+                b.iter(|| {
+                    let s = fig3(cap, Mode::Auction).duration(SimDuration::from_secs(SECS));
+                    let ub = s.price_upper_bound();
+                    let r = speakup_exp::run(&s);
+                    assert!(r.price_good.mean() <= ub * 1.05, "price above bound");
+                    black_box((r.price_good.mean(), r.good.payment_time.mean()))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_min_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec7_4_adversarial_advantage");
+    g.sample_size(10);
+    g.bench_function("sweep_c100_vs_c200", |b| {
+        b.iter(|| {
+            let lo = speakup_exp::run(
+                &fig3(100.0, Mode::Auction).duration(SimDuration::from_secs(SECS)),
+            );
+            let hi = speakup_exp::run(
+                &fig3(200.0, Mode::Auction).duration(SimDuration::from_secs(SECS)),
+            );
+            // Shape: c_id is not quite enough; generous capacity is.
+            assert!(lo.good_served_fraction() < hi.good_served_fraction());
+            black_box((lo.good_served_fraction(), hi.good_served_fraction()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4_fig5_prices,
+    bench_min_capacity
+);
+criterion_main!(benches);

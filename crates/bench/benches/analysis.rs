@@ -1,0 +1,29 @@
+//! §3.4 / Theorem 3.1: the auction game, timed and shape-checked.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use speakup_core::analysis::{play_auction_game, theorem_bound, AdversaryStrategy};
+use std::hint::black_box;
+
+fn bench_game(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm3_1_auction_game");
+    let rounds = 100_000u64;
+    g.throughput(Throughput::Elements(rounds));
+    for (name, strat) in [
+        ("uniform", AdversaryStrategy::Uniform),
+        ("just_enough", AdversaryStrategy::JustEnough),
+        ("bursty", AdversaryStrategy::Bursty { period: 10 }),
+        ("random", AdversaryStrategy::Random { seed: 3 }),
+    ] {
+        g.bench_with_input(BenchmarkId::new("eps_0_2", name), &strat, |b, strat| {
+            b.iter(|| {
+                let o = play_auction_game(0.2, rounds, strat);
+                assert!(o.x_fraction >= theorem_bound(0.2) * 0.97);
+                black_box(o.x_fraction)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_game);
+criterion_main!(benches);

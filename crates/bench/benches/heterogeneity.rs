@@ -1,0 +1,98 @@
+//! Figures 6–7 (§7.5) and the §5 quantum auction, at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speakup_exp::scenario::Mode;
+use speakup_exp::scenarios::{fig6, fig7, heterogeneous_requests};
+use speakup_net::time::SimDuration;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_bandwidth_proportionality");
+    g.sample_size(10);
+    g.bench_function("five_bandwidth_categories", |b| {
+        b.iter(|| {
+            let s = fig6().duration(SimDuration::from_secs(30));
+            let r = speakup_exp::run(&s);
+            let mut cat = [0u64; 5];
+            for (i, pc) in r.per_client.iter().enumerate() {
+                cat[i / 10] += pc.served;
+            }
+            let total: u64 = cat.iter().sum();
+            // Shape: monotone in bandwidth and near the i/15 ideal.
+            for i in 1..5 {
+                assert!(
+                    cat[i] >= cat[i - 1],
+                    "shares must rise with bandwidth: {cat:?}"
+                );
+            }
+            let top = cat[4] as f64 / total as f64;
+            assert!((top - 5.0 / 15.0).abs() < 0.12, "top category share {top}");
+            black_box(cat)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_rtt_sensitivity");
+    g.sample_size(10);
+    for all_bad in [false, true] {
+        let name = if all_bad { "all_bad" } else { "all_good" };
+        g.bench_with_input(BenchmarkId::new("rtt_ladder", name), &all_bad, |b, &bad| {
+            b.iter(|| {
+                let s = fig7(bad).duration(SimDuration::from_secs(30));
+                let r = speakup_exp::run(&s);
+                let mut cat = [0u64; 5];
+                for (i, pc) in r.per_client.iter().enumerate() {
+                    cat[i / 10] += pc.served;
+                }
+                let total: u64 = cat.iter().sum::<u64>().max(1);
+                // Paper's bound: no category more than ~2x off the 0.2 ideal.
+                for (i, &v) in cat.iter().enumerate() {
+                    let share = v as f64 / total as f64;
+                    assert!(
+                        (0.07..=0.42).contains(&share),
+                        "category {i} share {share} out of the paper's range"
+                    );
+                }
+                black_box(cat)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec5_heterogeneous_requests");
+    g.sample_size(10);
+    let hard = 5.0;
+    for (name, mode) in [
+        ("plain_auction", Mode::Auction),
+        (
+            "quantum_auction",
+            Mode::Quantum {
+                quantum: SimDuration::from_millis(10),
+            },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new("work_share", name), &mode, |b, mode| {
+            b.iter(|| {
+                let s = heterogeneous_requests(*mode, hard).duration(SimDuration::from_secs(30));
+                let r = speakup_exp::run(&s);
+                let good_work = r.allocation.good as f64;
+                let share = good_work / (good_work + r.allocation.bad as f64 * hard);
+                match mode {
+                    Mode::Quantum { .. } => {
+                        assert!(share > 0.32, "quantum work share {share}")
+                    }
+                    _ => assert!(share < 0.45, "plain-auction work share {share}"),
+                }
+                black_box(share)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6, bench_fig7, bench_quantum);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figures 8–9 (§7.6–§7.7): shared bottlenecks, at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speakup_exp::scenarios::{fig8, fig9};
+use speakup_net::time::SimDuration;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_shared_bottleneck");
+    g.sample_size(10);
+    for n_good in [5usize, 25] {
+        g.bench_with_input(
+            BenchmarkId::new("good_behind_l", n_good),
+            &n_good,
+            |b, &n| {
+                b.iter(|| {
+                    let s = fig8(n).duration(SimDuration::from_secs(20));
+                    let r = speakup_exp::run(&s);
+                    let (mut bg, mut bb) = (0u64, 0u64);
+                    for pc in &r.per_client {
+                        if pc.behind_bottleneck {
+                            if pc.is_bad {
+                                bb += pc.served;
+                            } else {
+                                bg += pc.served;
+                            }
+                        }
+                    }
+                    let share = bg as f64 / (bg + bb).max(1) as f64;
+                    let ideal = n as f64 / 30.0;
+                    // Shape: good behind the bottleneck get less than their
+                    // headcount share (bad hog the link)...
+                    assert!(share < ideal, "good share {share} vs ideal {ideal}");
+                    // ...but not nothing when they are the majority.
+                    if n == 25 {
+                        assert!(share > 0.2, "good share {share}");
+                    }
+                    black_box(share)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_bystander_latency");
+    g.sample_size(10);
+    for size_kb in [1u64, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("download_inflation", size_kb),
+            &size_kb,
+            |b, &kb| {
+                b.iter(|| {
+                    let on = speakup_exp::run(
+                        &fig9(kb << 10, true).duration(SimDuration::from_secs(30)),
+                    );
+                    let off = speakup_exp::run(
+                        &fig9(kb << 10, false).duration(SimDuration::from_secs(30)),
+                    );
+                    let l_on = on.wget_latencies.expect("wget");
+                    let l_off = off.wget_latencies.expect("wget");
+                    let inflation = l_on.mean() / l_off.mean().max(1e-9);
+                    assert!(
+                        inflation > 1.5,
+                        "speak-up should inflate {kb}KB downloads: {inflation}"
+                    );
+                    black_box(inflation)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,330 @@
+//! The paper's analytical results, executable.
+//!
+//! * The design-goal allocation and provisioning formulas (§3.1).
+//! * Theorem 3.1 (§3.4) as a playable auction game: a good client that
+//!   continuously delivers an `ε` fraction of the thinner's average
+//!   inbound bandwidth receives at least `ε/(2−ε) ≥ ε/2` of the service,
+//!   *no matter how* the adversary times or divides its bandwidth. The
+//!   game lets tests and benches try to falsify the bound with assorted
+//!   adversarial schedules.
+
+use speakup_net::rng::Pcg32;
+
+/// §3.1 design goal: with good demand `g`, good bandwidth `G`, bad
+/// bandwidth `B` (same units), and capacity `c`, the server should process
+/// good requests at `min(g, c·G/(G+B))`.
+pub fn ideal_good_service(g: f64, big_g: f64, big_b: f64, c: f64) -> f64 {
+    if big_g <= 0.0 {
+        return 0.0;
+    }
+    g.min(c * big_g / (big_g + big_b))
+}
+
+/// §3.1 idealized provisioning requirement: `c_id = g(1 + B/G)` — the
+/// smallest capacity at which the good clients are fully served under
+/// exact bandwidth-proportional allocation.
+pub fn ideal_provisioning(g: f64, big_g: f64, big_b: f64) -> f64 {
+    assert!(big_g > 0.0, "good clients need some bandwidth");
+    g * (1.0 + big_b / big_g)
+}
+
+/// The fraction of the server the good clients capture under
+/// bandwidth-proportional allocation: `G/(G+B)`.
+pub fn proportional_share(big_g: f64, big_b: f64) -> f64 {
+    if big_g + big_b <= 0.0 {
+        return 0.0;
+    }
+    big_g / (big_g + big_b)
+}
+
+/// §3's motivating arithmetic: the no-defense share `g/(g+B)` vs the
+/// speak-up share `G/(G+B)` (bandwidths in request/s units).
+pub fn no_defense_share(g: f64, big_b: f64) -> f64 {
+    if g + big_b <= 0.0 {
+        return 0.0;
+    }
+    g / (g + big_b)
+}
+
+/// Theorem 3.1's guarantee: a continuous `ε`-fraction bidder wins at least
+/// `ε/(2−ε)` of the auctions (the paper quotes the weaker `ε/2`).
+pub fn theorem_bound(eps: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&eps));
+    eps / (2.0 - eps)
+}
+
+/// The fluctuating-service extension (§3.4): service intervals within
+/// `[(1−δ)/c, (1+δ)/c]` weaken the guarantee to `(1−2δ)·ε/2`.
+pub fn theorem_bound_jittered(eps: f64, delta: f64) -> f64 {
+    assert!((0.0..=0.5).contains(&delta));
+    (1.0 - 2.0 * delta) * eps / 2.0
+}
+
+/// How the adversary schedules its spending in the auction game.
+#[derive(Clone, Debug)]
+pub enum AdversaryStrategy {
+    /// Spend the per-round budget every round (naive, non-adaptive).
+    Uniform,
+    /// Watch X's accumulated bid and spend exactly enough to beat it,
+    /// whenever the saved budget allows — the pessimal schedule from the
+    /// proof of Theorem 3.1 (requires implausibly deep information, as
+    /// the paper notes).
+    JustEnough,
+    /// Save for `period − 1` rounds, then dump everything.
+    Bursty {
+        /// Rounds between dumps.
+        period: usize,
+    },
+    /// Spend an i.i.d. uniform random fraction of the saved budget.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Result of playing the auction game.
+#[derive(Clone, Copy, Debug)]
+pub struct GameOutcome {
+    /// Auctions held.
+    pub rounds: u64,
+    /// Auctions won by the ε-bidder X.
+    pub x_wins: u64,
+    /// `x_wins / rounds`.
+    pub x_fraction: f64,
+    /// Total the adversary spent (for budget sanity checks).
+    pub adversary_spent: f64,
+}
+
+/// Play `rounds` auctions whose intervals fluctuate within `±delta` of
+/// regular (the §3.4 extension: service times in `[(1−δ)/c, (1+δ)/c]`
+/// weaken the guarantee to `(1−2δ)·ε/2`). X's per-round contribution
+/// scales with the interval length, since it pays at constant rate; the
+/// adversary's budget does too, but it may *time* its spending.
+pub fn play_auction_game_jittered(
+    eps: f64,
+    rounds: u64,
+    strategy: &AdversaryStrategy,
+    delta: f64,
+    seed: u64,
+) -> GameOutcome {
+    assert!((0.0..=0.5).contains(&delta));
+    let mut interval_rng = Pcg32::new(seed, 0x1a77e4);
+    play_auction_game_inner(eps, rounds, strategy, |_| {
+        1.0 + delta * (2.0 * interval_rng.f64() - 1.0)
+    })
+}
+
+/// Play `rounds` regular-interval auctions (Theorem 3.1's setting).
+///
+/// Per round the total inbound bandwidth is 1 dollar: X contributes `eps`,
+/// the adversary receives `1 − eps` of new budget and bids according to
+/// its strategy. The auction admits the highest accumulated bid (ties go
+/// to the adversary — pessimistically for X) and resets the winner's
+/// accumulation, mirroring the §3.3 virtual auction where the winner's
+/// channel is terminated.
+pub fn play_auction_game(eps: f64, rounds: u64, strategy: &AdversaryStrategy) -> GameOutcome {
+    play_auction_game_inner(eps, rounds, strategy, |_| 1.0)
+}
+
+fn play_auction_game_inner(
+    eps: f64,
+    rounds: u64,
+    strategy: &AdversaryStrategy,
+    mut interval: impl FnMut(u64) -> f64,
+) -> GameOutcome {
+    assert!((0.0..=1.0).contains(&eps));
+    let mut x_acc = 0.0_f64;
+    let mut adv_acc = 0.0_f64; // adversary's standing bid
+    let mut adv_reserve = 0.0_f64; // budget received but not yet bid
+    let mut x_wins = 0u64;
+    let mut adv_spent = 0.0_f64;
+    let mut rng = Pcg32::seeded(match strategy {
+        AdversaryStrategy::Random { seed } => *seed,
+        _ => 0,
+    });
+
+    for round in 0..rounds {
+        let dt = interval(round);
+        x_acc += eps * dt;
+        adv_reserve += (1.0 - eps) * dt;
+        // Adversary moves budget from reserve into its standing bid.
+        let bid_more = match strategy {
+            AdversaryStrategy::Uniform => adv_reserve,
+            AdversaryStrategy::JustEnough => {
+                let need = (x_acc - adv_acc + eps * 1e-6).max(0.0);
+                need.min(adv_reserve)
+            }
+            AdversaryStrategy::Bursty { period } => {
+                let period = (*period).max(1) as u64;
+                if round % period == period - 1 {
+                    adv_reserve
+                } else {
+                    0.0
+                }
+            }
+            AdversaryStrategy::Random { .. } => rng.f64() * adv_reserve,
+        };
+        adv_acc += bid_more;
+        adv_reserve -= bid_more;
+
+        // Hold the auction: highest accumulated bid wins; ties favour the
+        // adversary.
+        if x_acc > adv_acc {
+            x_wins += 1;
+            x_acc = 0.0;
+        } else {
+            adv_spent += adv_acc;
+            adv_acc = 0.0;
+        }
+    }
+
+    GameOutcome {
+        rounds,
+        x_wins,
+        x_fraction: if rounds == 0 {
+            0.0
+        } else {
+            x_wins as f64 / rounds as f64
+        },
+        adversary_spent: adv_spent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_formulas_match_paper_examples() {
+        // §3.1: B = G ⇒ required provisioning factor 2 (c ≥ 2g).
+        assert_eq!(ideal_provisioning(50.0, 50.0, 50.0), 100.0);
+        // §2.1: spare capacity 90% ⇒ good need 1/9 of bad bandwidth.
+        // g = 0.1c; with G = B/9: cid = 0.1c(1+9) = c. Exactly provisioned.
+        let c = 1000.0;
+        let g = 0.1 * c;
+        let cid = ideal_provisioning(g, 1.0, 9.0);
+        assert!((cid - c).abs() < 1e-9);
+        // Allocation: capped by demand.
+        assert_eq!(ideal_good_service(50.0, 50.0, 50.0, 200.0), 50.0);
+        assert_eq!(ideal_good_service(50.0, 50.0, 50.0, 50.0), 25.0);
+        assert_eq!(proportional_share(25.0, 75.0), 0.25);
+    }
+
+    #[test]
+    fn no_defense_share_is_tiny_under_attack() {
+        // Figure 1's point: g ≪ B ⇒ share g/(g+B) is small.
+        let share = no_defense_share(50.0, 950.0);
+        assert!((share - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_bound_values() {
+        assert!((theorem_bound(0.5) - (0.5 / 1.5)).abs() < 1e-12);
+        assert!(theorem_bound(0.2) >= 0.1); // ≥ ε/2
+        assert_eq!(theorem_bound(0.0), 0.0);
+        assert_eq!(theorem_bound(1.0), 1.0);
+        assert!((theorem_bound_jittered(0.4, 0.1) - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_adversary_gives_x_its_proportional_share() {
+        // Against a non-adaptive adversary X does far better than ε/2:
+        // it wins about every 1/ε-th auction once its bid accumulates.
+        let eps = 0.2;
+        let o = play_auction_game(eps, 100_000, &AdversaryStrategy::Uniform);
+        assert!(o.x_fraction >= eps / 2.0, "fraction {}", o.x_fraction);
+        // With uniform spending the adversary bids 0.8/round; X accumulates
+        // 0.2/round and wins roughly every 5th round.
+        assert!(
+            (o.x_fraction - eps).abs() < 0.05,
+            "fraction {}",
+            o.x_fraction
+        );
+    }
+
+    #[test]
+    fn just_enough_adversary_cannot_break_the_bound() {
+        for &eps in &[0.05, 0.1, 0.2, 0.3, 0.5] {
+            let o = play_auction_game(eps, 200_000, &AdversaryStrategy::JustEnough);
+            let bound = theorem_bound(eps);
+            assert!(
+                o.x_fraction >= bound * 0.98, // discretization slack
+                "eps {eps}: fraction {} < bound {bound}",
+                o.x_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn just_enough_is_worse_for_x_than_uniform() {
+        let eps = 0.2;
+        let uni = play_auction_game(eps, 100_000, &AdversaryStrategy::Uniform);
+        let adv = play_auction_game(eps, 100_000, &AdversaryStrategy::JustEnough);
+        assert!(
+            adv.x_fraction < uni.x_fraction,
+            "adaptive adversary should hurt X more ({} vs {})",
+            adv.x_fraction,
+            uni.x_fraction
+        );
+    }
+
+    #[test]
+    fn bursty_and_random_respect_bound() {
+        for strategy in [
+            AdversaryStrategy::Bursty { period: 3 },
+            AdversaryStrategy::Bursty { period: 10 },
+            AdversaryStrategy::Random { seed: 99 },
+        ] {
+            for &eps in &[0.1, 0.25, 0.5] {
+                let o = play_auction_game(eps, 100_000, &strategy);
+                assert!(
+                    o.x_fraction >= eps / 2.0 * 0.98,
+                    "{strategy:?} eps {eps}: {}",
+                    o.x_fraction
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_game_respects_weakened_bound() {
+        for &delta in &[0.1, 0.3, 0.5] {
+            for &eps in &[0.1, 0.3, 0.5] {
+                let o = play_auction_game_jittered(
+                    eps,
+                    100_000,
+                    &AdversaryStrategy::JustEnough,
+                    delta,
+                    9,
+                );
+                let weak = theorem_bound_jittered(eps, delta);
+                assert!(
+                    o.x_fraction >= weak * 0.97,
+                    "eps {eps} delta {delta}: {} < {weak}",
+                    o.x_fraction
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_never_helps_x_much() {
+        // Fluctuating service can only hurt the constant-rate bidder.
+        let eps = 0.3;
+        let flat = play_auction_game(eps, 100_000, &AdversaryStrategy::JustEnough);
+        let jit = play_auction_game_jittered(eps, 100_000, &AdversaryStrategy::JustEnough, 0.4, 11);
+        assert!(jit.x_fraction <= flat.x_fraction * 1.1 + 0.01);
+    }
+
+    #[test]
+    fn zero_eps_never_wins() {
+        let o = play_auction_game(0.0, 1000, &AdversaryStrategy::Uniform);
+        assert_eq!(o.x_wins, 0);
+    }
+
+    #[test]
+    fn full_eps_always_wins() {
+        let o = play_auction_game(1.0, 1000, &AdversaryStrategy::JustEnough);
+        assert_eq!(o.x_wins, 1000);
+    }
+}

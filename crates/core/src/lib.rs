@@ -1,0 +1,45 @@
+//! # speakup-core — "DDoS Defense by Offense" (SIGCOMM 2006), the system
+//!
+//! This crate implements **speak-up**: a defense against application-level
+//! distributed denial-of-service in which the attacked server's front-end
+//! (the *thinner*) **encourages** all clients to send more traffic, on the
+//! theory that bad clients are already saturating their upload bandwidth
+//! while good clients have plenty to spare. Bandwidth becomes a currency;
+//! the server's scarce computation goes to whoever pays the most of it.
+//!
+//! The crate is transport-agnostic: every mechanism is a pure state
+//! machine driven by events and emitting [`types::Directive`]s, so the
+//! same thinner runs over the packet-level simulator (`speakup-exp`), real
+//! TCP sockets (`speakup-proxy`), or a bare test harness.
+//!
+//! ## Map of the paper
+//!
+//! | paper | here |
+//! |---|---|
+//! | §3.1 goals & formulas | [`analysis`] (`ideal_good_service`, `ideal_provisioning`) |
+//! | §3.2 random drops + aggressive retries | [`thinner::RetryFrontEnd`] |
+//! | §3.3 payment channel + virtual auction | [`thinner::AuctionFrontEnd`] |
+//! | §3.4 robustness / Theorem 3.1 | [`analysis::play_auction_game`] |
+//! | §5 heterogeneous requests | [`thinner::QuantumFrontEnd`] |
+//! | §6 emulated server `U[0.9/c, 1.1/c]` | [`server::EmulatedServer`] |
+//! | §7.1 client model (λ, w, backlog, 10 s denials) | [`client`] |
+//! | baseline "without speak-up" | [`thinner::NoDefense`] |
+//! | §8.1 detect-and-block comparison | [`thinner::ProfileFrontEnd`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod client;
+pub mod metrics;
+pub mod server;
+pub mod thinner;
+pub mod types;
+
+pub use client::{ClientProfile, ClientStats, RequestTracker};
+pub use server::EmulatedServer;
+pub use thinner::{
+    AuctionConfig, AuctionFrontEnd, FrontEnd, NoDefense, ProfileConfig, ProfileFrontEnd,
+    QuantumConfig, QuantumFrontEnd, RetryConfig, RetryFrontEnd,
+};
+pub use types::{ClientId, Directive, RequestId, RequestKey};

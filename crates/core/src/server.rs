@@ -1,0 +1,310 @@
+//! The emulated protected server.
+//!
+//! Mirrors the paper's prototype (§6): the server processes one request at
+//! a time, with a service time drawn uniformly from `[0.9/c, 1.1/c]` for
+//! capacity `c` requests/second. For the heterogeneous-request design
+//! (§5) the server additionally supports SUSPEND / RESUME / ABORT, the
+//! interface the paper assumes of transaction managers and application
+//! servers, implemented here by tracking each request's remaining work.
+
+use crate::types::RequestKey;
+use speakup_net::rng::Pcg32;
+use speakup_net::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A request currently executing.
+#[derive(Clone, Copy, Debug)]
+struct Running {
+    req: RequestKey,
+    /// When the request will complete if not suspended.
+    finish_at: SimTime,
+}
+
+/// A request that was suspended mid-execution.
+#[derive(Clone, Copy, Debug)]
+struct Suspended {
+    /// Work left to do when suspended.
+    remaining: SimDuration,
+    /// When it was suspended (for the §5 abort timeout).
+    since: SimTime,
+}
+
+/// Counters for the server.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Requests fully completed.
+    pub completed: u64,
+    /// SUSPEND operations performed.
+    pub suspensions: u64,
+    /// RESUME operations performed.
+    pub resumptions: u64,
+    /// Requests aborted while suspended.
+    pub aborted: u64,
+    /// Total time spent busy.
+    pub busy_time: SimDuration,
+}
+
+/// The emulated server. One request at a time; scarce resource = time.
+#[derive(Debug)]
+pub struct EmulatedServer {
+    capacity: f64,
+    /// Service time jitter bounds as fractions of the mean (paper: 0.9/1.1).
+    jitter: (f64, f64),
+    running: Option<Running>,
+    /// When the current execution slice started (for busy accounting).
+    slice_started: SimTime,
+    suspended: HashMap<RequestKey, Suspended>,
+    rng: Pcg32,
+    /// Counters.
+    pub stats: ServerStats,
+}
+
+impl EmulatedServer {
+    /// A server with capacity `c` requests/second and the paper's
+    /// `[0.9/c, 1.1/c]` service-time distribution.
+    pub fn new(capacity: f64, seed: u64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        EmulatedServer {
+            capacity,
+            jitter: (0.9, 1.1),
+            running: None,
+            slice_started: SimTime::ZERO,
+            suspended: HashMap::new(),
+            rng: Pcg32::new(seed, 0x5e),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Capacity in requests/second.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Whether a request is currently executing.
+    pub fn is_busy(&self) -> bool {
+        self.running.is_some()
+    }
+
+    /// The request currently executing, if any.
+    pub fn running(&self) -> Option<RequestKey> {
+        self.running.map(|r| r.req)
+    }
+
+    /// Requests currently suspended.
+    pub fn suspended_count(&self) -> usize {
+        self.suspended.len()
+    }
+
+    /// Draw a service time for a request of `difficulty` (1.0 = the
+    /// paper's homogeneous case; x = a request of x chunks in §5 terms).
+    pub fn draw_work(&mut self, difficulty: f64) -> SimDuration {
+        let base = self.rng.uniform(self.jitter.0, self.jitter.1) / self.capacity;
+        SimDuration::from_secs_f64(base * difficulty)
+    }
+
+    /// Start executing `req` with `work` remaining. Returns the completion
+    /// time the caller must schedule. Panics if already busy.
+    pub fn start(&mut self, now: SimTime, req: RequestKey, work: SimDuration) -> SimTime {
+        assert!(self.running.is_none(), "server is busy");
+        let finish_at = now + work;
+        self.running = Some(Running { req, finish_at });
+        self.slice_started = now;
+        finish_at
+    }
+
+    /// Convenience: draw work for `difficulty` and start.
+    pub fn start_request(&mut self, now: SimTime, req: RequestKey, difficulty: f64) -> SimTime {
+        let work = self.draw_work(difficulty);
+        self.start(now, req, work)
+    }
+
+    /// The scheduled completion fired: the request is done. Returns it.
+    /// Panics if called when idle or before the finish time.
+    pub fn complete(&mut self, now: SimTime) -> RequestKey {
+        let r = self.running.take().expect("complete() on idle server");
+        assert!(now >= r.finish_at, "complete() before finish time");
+        self.stats.completed += 1;
+        self.stats.busy_time += now.saturating_since(self.slice_started);
+        r.req
+    }
+
+    /// §5: SUSPEND the running request, remembering its remaining work.
+    /// Panics if `req` is not the running request.
+    pub fn suspend(&mut self, now: SimTime, req: RequestKey) {
+        let r = self.running.take().expect("suspend() on idle server");
+        assert_eq!(r.req, req, "suspend() target is not running");
+        let remaining = r.finish_at.saturating_since(now);
+        self.suspended.insert(
+            req,
+            Suspended {
+                remaining,
+                since: now,
+            },
+        );
+        self.stats.suspensions += 1;
+        self.stats.busy_time += now.saturating_since(self.slice_started);
+    }
+
+    /// §5: RESUME a suspended request. Returns its new completion time.
+    /// Panics if busy or if `req` was not suspended.
+    pub fn resume(&mut self, now: SimTime, req: RequestKey) -> SimTime {
+        assert!(self.running.is_none(), "resume() on busy server");
+        let s = self
+            .suspended
+            .remove(&req)
+            .expect("resume() of a request that is not suspended");
+        self.stats.resumptions += 1;
+        self.start(now, req, s.remaining)
+    }
+
+    /// §5: ABORT a suspended request (e.g. suspended too long).
+    /// Panics if `req` was not suspended.
+    pub fn abort_suspended(&mut self, req: RequestKey) {
+        self.suspended
+            .remove(&req)
+            .expect("abort of a request that is not suspended");
+        self.stats.aborted += 1;
+    }
+
+    /// How long `req` has been suspended, if it is.
+    pub fn suspended_since(&self, req: RequestKey) -> Option<SimTime> {
+        self.suspended.get(&req).map(|s| s.since)
+    }
+
+    /// All currently suspended requests with their suspension times,
+    /// in deterministic (sorted) order.
+    pub fn suspended_requests(&self) -> Vec<(RequestKey, SimTime)> {
+        let mut v: Vec<_> = self.suspended.iter().map(|(k, s)| (*k, s.since)).collect();
+        v.sort();
+        v
+    }
+
+    /// Fraction of `elapsed` the server spent busy.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.stats.busy_time.as_secs_f64() / elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ClientId, RequestId};
+
+    fn key(c: u32, r: u64) -> RequestKey {
+        RequestKey::new(ClientId(c), RequestId(r))
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn service_time_within_paper_bounds() {
+        let mut s = EmulatedServer::new(100.0, 1);
+        for _ in 0..10_000 {
+            let w = s.draw_work(1.0).as_secs_f64();
+            assert!((0.009..=0.011).contains(&w), "work {w}");
+        }
+    }
+
+    #[test]
+    fn service_time_mean_is_one_over_c() {
+        let mut s = EmulatedServer::new(50.0, 2);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| s.draw_work(1.0).as_secs_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.02).abs() < 0.0002, "mean {mean}");
+    }
+
+    #[test]
+    fn difficulty_scales_work() {
+        let mut s = EmulatedServer::new(10.0, 3);
+        let w = s.draw_work(5.0).as_secs_f64();
+        assert!((0.45..=0.55).contains(&w), "work {w}");
+    }
+
+    #[test]
+    fn start_complete_cycle() {
+        let mut s = EmulatedServer::new(100.0, 4);
+        assert!(!s.is_busy());
+        let fin = s.start(t(0), key(1, 1), SimDuration::from_millis(10));
+        assert_eq!(fin, t(10));
+        assert!(s.is_busy());
+        assert_eq!(s.running(), Some(key(1, 1)));
+        let done = s.complete(t(10));
+        assert_eq!(done, key(1, 1));
+        assert!(!s.is_busy());
+        assert_eq!(s.stats.completed, 1);
+        assert_eq!(s.stats.busy_time, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "server is busy")]
+    fn double_start_panics() {
+        let mut s = EmulatedServer::new(100.0, 5);
+        s.start(t(0), key(1, 1), SimDuration::from_millis(10));
+        s.start(t(1), key(1, 2), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn suspend_preserves_remaining_work() {
+        let mut s = EmulatedServer::new(100.0, 6);
+        s.start(t(0), key(1, 1), SimDuration::from_millis(10));
+        s.suspend(t(4), key(1, 1));
+        assert!(!s.is_busy());
+        assert_eq!(s.suspended_count(), 1);
+        assert_eq!(s.suspended_since(key(1, 1)), Some(t(4)));
+        // Run something else meanwhile.
+        s.start(t(4), key(2, 1), SimDuration::from_millis(3));
+        s.complete(t(7));
+        // Resume: 6 ms of work left.
+        let fin = s.resume(t(7), key(1, 1));
+        assert_eq!(fin, t(13));
+        assert_eq!(s.complete(t(13)), key(1, 1));
+        assert_eq!(s.stats.suspensions, 1);
+        assert_eq!(s.stats.resumptions, 1);
+        assert_eq!(s.stats.completed, 2);
+    }
+
+    #[test]
+    fn abort_suspended_removes_it() {
+        let mut s = EmulatedServer::new(100.0, 7);
+        s.start(t(0), key(1, 1), SimDuration::from_millis(10));
+        s.suspend(t(5), key(1, 1));
+        s.abort_suspended(key(1, 1));
+        assert_eq!(s.suspended_count(), 0);
+        assert_eq!(s.stats.aborted, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not suspended")]
+    fn resume_unknown_panics() {
+        let mut s = EmulatedServer::new(100.0, 8);
+        s.resume(t(0), key(9, 9));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut s = EmulatedServer::new(100.0, 9);
+        s.start(t(0), key(1, 1), SimDuration::from_millis(10));
+        s.complete(t(10));
+        // busy 10 ms of 40 ms elapsed.
+        let u = s.utilization(SimDuration::from_millis(40));
+        assert!((u - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suspended_requests_sorted() {
+        let mut s = EmulatedServer::new(100.0, 10);
+        s.start(t(0), key(3, 1), SimDuration::from_millis(50));
+        s.suspend(t(1), key(3, 1));
+        s.start(t(1), key(1, 1), SimDuration::from_millis(50));
+        s.suspend(t(2), key(1, 1));
+        let v = s.suspended_requests();
+        assert_eq!(v[0].0, key(1, 1));
+        assert_eq!(v[1].0, key(3, 1));
+    }
+}

@@ -1,0 +1,113 @@
+//! The no-defense baseline: what the paper measures as "without speak-up".
+//!
+//! When the server is overloaded it randomly drops excess requests (§3's
+//! illustration): with one request executing at a time, any request that
+//! arrives while the server is busy is dropped silently. Clients time out
+//! on their own. The server's allocation therefore tracks the clients'
+//! *request rates*, which is exactly why bad clients — who request far
+//! faster — capture it.
+
+use super::FrontEnd;
+use crate::types::{Directive, RequestKey};
+use speakup_net::time::SimTime;
+
+/// Counters for the baseline front end.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoDefenseStats {
+    /// Requests forwarded to the server.
+    pub admitted: u64,
+    /// Requests dropped because the server was busy.
+    pub dropped: u64,
+}
+
+/// The baseline front end. See module docs.
+#[derive(Debug, Default)]
+pub struct NoDefense {
+    busy: Option<RequestKey>,
+    /// Counters.
+    pub stats: NoDefenseStats,
+}
+
+impl NoDefense {
+    /// A baseline front end.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FrontEnd for NoDefense {
+    fn on_request(&mut self, _now: SimTime, req: RequestKey, out: &mut Vec<Directive>) {
+        if self.busy.is_some() {
+            self.stats.dropped += 1;
+            out.push(Directive::Drop(req));
+        } else {
+            self.busy = Some(req);
+            self.stats.admitted += 1;
+            out.push(Directive::Admit(req));
+        }
+    }
+
+    fn on_payment(
+        &mut self,
+        _now: SimTime,
+        _req: RequestKey,
+        _bytes: u64,
+        _out: &mut Vec<Directive>,
+    ) {
+        // No payment concept in the baseline.
+    }
+
+    fn on_server_done(&mut self, _now: SimTime, req: RequestKey, _out: &mut Vec<Directive>) {
+        assert_eq!(self.busy, Some(req), "done for a request not on the server");
+        self.busy = None;
+    }
+
+    fn on_cancel(&mut self, _now: SimTime, _req: RequestKey, _out: &mut Vec<Directive>) {}
+
+    fn on_tick(&mut self, _now: SimTime, _out: &mut Vec<Directive>) -> Option<SimTime> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "off"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thinner::testutil::{admitted, dropped, key, t};
+
+    #[test]
+    fn admits_when_free_drops_when_busy() {
+        let mut f = NoDefense::new();
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        assert_eq!(admitted(&out), vec![key(1, 1)]);
+        out.clear();
+        f.on_request(t(1), key(2, 1), &mut out);
+        f.on_request(t(2), key(3, 1), &mut out);
+        assert_eq!(dropped(&out), vec![key(2, 1), key(3, 1)]);
+        out.clear();
+        f.on_server_done(t(3), key(1, 1), &mut out);
+        f.on_request(t(4), key(2, 2), &mut out);
+        assert_eq!(admitted(&out), vec![key(2, 2)]);
+        assert_eq!(f.stats.admitted, 2);
+        assert_eq!(f.stats.dropped, 2);
+    }
+
+    #[test]
+    fn no_price() {
+        let f = NoDefense::new();
+        assert_eq!(f.going_rate(), None);
+        assert_eq!(f.name(), "off");
+    }
+
+    #[test]
+    fn tick_is_inert() {
+        let mut f = NoDefense::new();
+        let mut out = Vec::new();
+        assert_eq!(f.on_tick(t(100), &mut out), None);
+        assert!(out.is_empty());
+    }
+}

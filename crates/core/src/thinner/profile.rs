@@ -1,0 +1,276 @@
+//! A detect-and-block comparator: per-client rate limiting ("profiling").
+//!
+//! The paper's taxonomy (§1, §8.1) puts the most commonly deployed
+//! application-level defenses in the *detect and block* family: build a
+//! profile of acceptable per-client request rates and block clients that
+//! exceed it. This front end implements the rate-limiting special case —
+//! a token bucket per observed client identity — so experiments can
+//! reproduce the paper's argument for why speak-up exists at all:
+//!
+//! * against *naive* bots that hammer from fixed addresses, profiling
+//!   works great (better than speak-up: the bad clients get nothing);
+//! * against *spoofing* (or NATted crowds, or profile-building smart
+//!   bots — §2.2, §8.1), identity-keyed defenses crumble, while the
+//!   bandwidth tax does not care who you claim to be: "ironically,
+//!   taxing clients is easier than identifying them" (§3.2).
+
+use super::FrontEnd;
+use crate::types::{Directive, RequestKey};
+use speakup_net::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration for the profiling front end.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfileConfig {
+    /// Sustained request rate allowed per client identity, requests/s.
+    pub allowed_rate: f64,
+    /// Bucket depth: how many requests a client may burst.
+    pub burst: f64,
+    /// Queue bound for admitted requests awaiting the server.
+    pub max_queue: usize,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            allowed_rate: 3.0,
+            burst: 6.0,
+            max_queue: 8,
+        }
+    }
+}
+
+/// Counters for the profiling front end.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProfileStats {
+    /// Requests admitted (immediately or via the queue).
+    pub admitted: u64,
+    /// Requests blocked for exceeding the client's allowed rate.
+    pub blocked: u64,
+    /// Requests dropped because the admitted queue was full.
+    pub queue_drops: u64,
+    /// Distinct client identities observed.
+    pub identities_seen: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    tokens: f64,
+    refilled: SimTime,
+}
+
+/// The profiling front end. See module docs.
+pub struct ProfileFrontEnd {
+    cfg: ProfileConfig,
+    busy: Option<RequestKey>,
+    queue: VecDeque<RequestKey>,
+    buckets: HashMap<crate::types::ClientId, Bucket>,
+    /// Counters.
+    pub stats: ProfileStats,
+}
+
+impl ProfileFrontEnd {
+    /// A profiling front end with the given rate policy.
+    pub fn new(cfg: ProfileConfig) -> Self {
+        assert!(cfg.allowed_rate > 0.0);
+        ProfileFrontEnd {
+            cfg,
+            busy: None,
+            queue: VecDeque::new(),
+            buckets: HashMap::new(),
+            stats: ProfileStats::default(),
+        }
+    }
+
+    /// Current token balance for an identity (for tests).
+    pub fn tokens_of(&self, client: crate::types::ClientId) -> Option<f64> {
+        self.buckets.get(&client).map(|b| b.tokens)
+    }
+
+    fn take_token(&mut self, now: SimTime, client: crate::types::ClientId) -> bool {
+        let cfg = self.cfg;
+        let bucket = self.buckets.entry(client).or_insert_with(|| Bucket {
+            tokens: cfg.burst,
+            refilled: now,
+        });
+        // Refill at the allowed rate since the last visit.
+        let dt = now.saturating_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + dt * cfg.allowed_rate).min(cfg.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl FrontEnd for ProfileFrontEnd {
+    fn on_request(&mut self, now: SimTime, req: RequestKey, out: &mut Vec<Directive>) {
+        if !self.buckets.contains_key(&req.client) {
+            self.stats.identities_seen += 1;
+        }
+        if !self.take_token(now, req.client) {
+            self.stats.blocked += 1;
+            out.push(Directive::Drop(req));
+            return;
+        }
+        if self.busy.is_none() {
+            self.busy = Some(req);
+            self.stats.admitted += 1;
+            out.push(Directive::Admit(req));
+        } else if self.queue.len() < self.cfg.max_queue {
+            self.queue.push_back(req);
+        } else {
+            self.stats.queue_drops += 1;
+            out.push(Directive::Drop(req));
+        }
+    }
+
+    fn on_payment(
+        &mut self,
+        _now: SimTime,
+        _req: RequestKey,
+        _bytes: u64,
+        _out: &mut Vec<Directive>,
+    ) {
+        // Profiling has no payment concept.
+    }
+
+    fn on_server_done(&mut self, _now: SimTime, req: RequestKey, out: &mut Vec<Directive>) {
+        assert_eq!(self.busy, Some(req), "done for a request not on the server");
+        self.busy = None;
+        if let Some(next) = self.queue.pop_front() {
+            self.busy = Some(next);
+            self.stats.admitted += 1;
+            out.push(Directive::Admit(next));
+        }
+    }
+
+    fn on_cancel(&mut self, _now: SimTime, req: RequestKey, _out: &mut Vec<Directive>) {
+        self.queue.retain(|k| *k != req);
+    }
+
+    fn on_tick(&mut self, _now: SimTime, _out: &mut Vec<Directive>) -> Option<SimTime> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "profile"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thinner::testutil::{admitted, dropped, key, t};
+    use crate::types::ClientId;
+
+    fn fe(rate: f64, burst: f64) -> ProfileFrontEnd {
+        ProfileFrontEnd::new(ProfileConfig {
+            allowed_rate: rate,
+            burst,
+            max_queue: 4,
+        })
+    }
+
+    #[test]
+    fn within_profile_admitted() {
+        let mut f = fe(2.0, 4.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        assert_eq!(admitted(&out), vec![key(1, 1)]);
+        assert_eq!(f.stats.admitted, 1);
+    }
+
+    #[test]
+    fn burst_beyond_bucket_blocked() {
+        let mut f = fe(1.0, 2.0);
+        let mut out = Vec::new();
+        // Burst of 5 at t=0: 2 pass (bucket depth), 3 blocked.
+        for i in 1..=5 {
+            f.on_request(t(0), key(1, i), &mut out);
+        }
+        assert_eq!(f.stats.blocked, 3);
+        assert_eq!(dropped(&out).len(), 3);
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let mut f = fe(1.0, 1.0); // 1 token/s, depth 1
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        assert_eq!(admitted(&out), vec![key(1, 1)]);
+        f.on_server_done(t(1), key(1, 1), &mut out);
+        out.clear();
+        // 10 ms later: only 0.01 tokens refilled — blocked.
+        f.on_request(t(10), key(1, 2), &mut out);
+        assert_eq!(f.stats.blocked, 1);
+        assert_eq!(dropped(&out), vec![key(1, 2)]);
+        out.clear();
+        // Two seconds later: a full token is back — admitted.
+        f.on_request(t(2_010), key(1, 3), &mut out);
+        assert_eq!(admitted(&out), vec![key(1, 3)]);
+        assert_eq!(f.stats.blocked, 1);
+    }
+
+    #[test]
+    fn independent_identities_have_independent_buckets() {
+        let mut f = fe(1.0, 1.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out); // admitted (server free)
+        f.on_request(t(0), key(2, 1), &mut out); // queued (has a token)
+        f.on_request(t(0), key(3, 1), &mut out); // queued
+        assert_eq!(f.stats.blocked, 0);
+        assert_eq!(f.stats.identities_seen, 3);
+        // Same identity again: no tokens left.
+        f.on_request(t(1), key(1, 2), &mut out);
+        assert_eq!(f.stats.blocked, 1);
+    }
+
+    #[test]
+    fn queue_feeds_server() {
+        let mut f = fe(10.0, 10.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(1), key(2, 1), &mut out);
+        out.clear();
+        f.on_server_done(t(5), key(1, 1), &mut out);
+        assert_eq!(admitted(&out), vec![key(2, 1)]);
+    }
+
+    #[test]
+    fn full_queue_drops() {
+        let mut f = fe(100.0, 100.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out); // server
+        for i in 2..=5 {
+            f.on_request(t(0), key(i, 1), &mut out); // queue (max 4)
+        }
+        out.clear();
+        f.on_request(t(0), key(9, 1), &mut out);
+        assert_eq!(dropped(&out), vec![key(9, 1)]);
+        assert_eq!(f.stats.queue_drops, 1);
+    }
+
+    #[test]
+    fn spoofing_defeats_profiling() {
+        // The §8.1 point, in miniature: an attacker presenting a fresh
+        // identity per request never runs out of tokens.
+        let mut f = fe(1.0, 1.0);
+        let mut out = Vec::new();
+        let mut blocked = 0;
+        for i in 0..100u32 {
+            out.clear();
+            f.on_request(t(i as u64), key(1000 + i, 1), &mut out);
+            blocked += dropped(&out).len();
+            // Drain the server so the queue never interferes.
+            if let Some(k) = admitted(&out).first() {
+                f.on_server_done(t(i as u64), *k, &mut Vec::new());
+            }
+        }
+        assert_eq!(blocked, 0, "spoofed identities sail through the profile");
+        assert_eq!(f.tokens_of(ClientId(1000)), Some(0.0));
+    }
+}

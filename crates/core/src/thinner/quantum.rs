@@ -1,0 +1,424 @@
+//! §5 — heterogeneous requests: per-quantum auctions.
+//!
+//! When requests cause unequal amounts of work and the thinner cannot
+//! know the difficulty in advance (but attackers can), charging the
+//! average price would let an attacker win a disproportionate share by
+//! sending only the hardest requests. The fix: break time into quanta of
+//! length `τ`, view each request as a sequence of equal-sized chunks, and
+//! hold a virtual auction *per quantum*. A request of `x` chunks must win
+//! `x` auctions; the thinner never needs to know `x`.
+//!
+//! Procedure (verbatim from the paper, every `τ` seconds):
+//! 1. let `v` be the active request and `u` the top-paying contender;
+//! 2. if `u` has paid more than `v`: SUSPEND `v`, admit (or RESUME) `u`,
+//!    zero `u`'s payment;
+//! 3. if `v` has paid more than `u`: `v` continues, zero `v`'s payment
+//!    (it has not yet paid for the next quantum);
+//! 4. ABORT any request SUSPENDed longer than a timeout (paper: 30 s).
+//!
+//! Unlike §3.3, payment channels are *not* terminated on admission — the
+//! thinner extracts an on-going payment until the request completes.
+
+use super::FrontEnd;
+use crate::types::{Directive, RequestKey};
+use speakup_net::time::{SimDuration, SimTime};
+use speakup_net::trace::Samples;
+use std::collections::HashMap;
+
+/// Configuration for the quantum-auction front end.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantumConfig {
+    /// Quantum length `τ`.
+    pub quantum: SimDuration,
+    /// ABORT a request suspended longer than this (paper: 30 s).
+    pub suspend_timeout: SimDuration,
+}
+
+impl Default for QuantumConfig {
+    fn default() -> Self {
+        QuantumConfig {
+            quantum: SimDuration::from_millis(100),
+            suspend_timeout: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Counters for the quantum front end.
+#[derive(Clone, Debug, Default)]
+pub struct QuantumStats {
+    /// Quantum auctions evaluated.
+    pub quantum_auctions: u64,
+    /// SUSPEND directives issued.
+    pub suspensions: u64,
+    /// RESUME directives issued.
+    pub resumptions: u64,
+    /// Requests aborted after overlong suspension.
+    pub aborts: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Bytes paid per quantum won (the per-chunk price).
+    pub quantum_prices: Samples,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Standing {
+    /// Never yet admitted.
+    Waiting,
+    /// Admitted before, currently SUSPENDed on the server since the time.
+    Suspended(SimTime),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Contender {
+    paid: u64,
+    seq: u64,
+    standing: Standing,
+}
+
+/// The §5 front end. See module docs.
+pub struct QuantumFrontEnd {
+    cfg: QuantumConfig,
+    /// The request currently executing, with bytes paid since it last won.
+    active: Option<(RequestKey, u64)>,
+    contenders: HashMap<RequestKey, Contender>,
+    next_seq: u64,
+    /// Counters and per-quantum price samples.
+    pub stats: QuantumStats,
+}
+
+impl QuantumFrontEnd {
+    /// A quantum-auction thinner with the given configuration.
+    pub fn new(cfg: QuantumConfig) -> Self {
+        assert!(cfg.quantum.as_nanos() > 0);
+        QuantumFrontEnd {
+            cfg,
+            active: None,
+            contenders: HashMap::new(),
+            next_seq: 0,
+            stats: QuantumStats::default(),
+        }
+    }
+
+    /// The currently executing request, if any.
+    pub fn active(&self) -> Option<RequestKey> {
+        self.active.map(|(k, _)| k)
+    }
+
+    /// Number of requests waiting or suspended.
+    pub fn contender_count(&self) -> usize {
+        self.contenders.len()
+    }
+
+    fn top_contender(&self) -> Option<RequestKey> {
+        self.contenders
+            .iter()
+            .max_by(|(_, a), (_, b)| a.paid.cmp(&b.paid).then(b.seq.cmp(&a.seq)))
+            .map(|(k, _)| *k)
+    }
+
+    /// Put `u` on the server: RESUME if it was suspended, Admit otherwise.
+    /// Zeroes its payment per the procedure.
+    fn grant(&mut self, u: RequestKey, out: &mut Vec<Directive>) {
+        let c = self.contenders.remove(&u).expect("grant of non-contender");
+        self.stats.quantum_prices.push(c.paid as f64);
+        self.active = Some((u, 0));
+        match c.standing {
+            Standing::Waiting => out.push(Directive::Admit(u)),
+            Standing::Suspended(_) => {
+                self.stats.resumptions += 1;
+                out.push(Directive::Resume(u));
+            }
+        }
+    }
+
+    /// Move the active request back to the contender pool as Suspended.
+    fn demote_active(&mut self, now: SimTime, out: &mut Vec<Directive>) {
+        let (v, paid) = self.active.take().expect("no active to demote");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.contenders.insert(
+            v,
+            Contender {
+                paid,
+                seq,
+                standing: Standing::Suspended(now),
+            },
+        );
+        self.stats.suspensions += 1;
+        out.push(Directive::Suspend(v));
+    }
+}
+
+impl FrontEnd for QuantumFrontEnd {
+    fn on_request(&mut self, _now: SimTime, req: RequestKey, out: &mut Vec<Directive>) {
+        if self.contenders.contains_key(&req) || self.active.map(|(k, _)| k) == Some(req) {
+            return;
+        }
+        if self.active.is_none() && self.contenders.is_empty() {
+            self.active = Some((req, 0));
+            self.stats.quantum_prices.push(0.0);
+            out.push(Directive::Admit(req));
+            // Even an unloaded server keeps the channel open in §5: the
+            // client pays per quantum. (At zero contention the ongoing
+            // price stays zero.)
+            out.push(Directive::Encourage(req));
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.contenders.insert(
+            req,
+            Contender {
+                paid: 0,
+                seq,
+                standing: Standing::Waiting,
+            },
+        );
+        out.push(Directive::Encourage(req));
+    }
+
+    fn on_payment(
+        &mut self,
+        _now: SimTime,
+        req: RequestKey,
+        bytes: u64,
+        _out: &mut Vec<Directive>,
+    ) {
+        if let Some((k, paid)) = self.active.as_mut() {
+            if *k == req {
+                *paid += bytes;
+                return;
+            }
+        }
+        if let Some(c) = self.contenders.get_mut(&req) {
+            c.paid += bytes;
+        }
+    }
+
+    fn on_server_done(&mut self, now: SimTime, req: RequestKey, out: &mut Vec<Directive>) {
+        let (k, _) = self.active.take().expect("done on idle server");
+        assert_eq!(k, req, "done for a request not active");
+        self.stats.completed += 1;
+        out.push(Directive::TerminateChannel(req));
+        // Don't idle until the next tick: grant the top contender now.
+        if let Some(u) = self.top_contender() {
+            self.grant(u, out);
+        }
+        let _ = now;
+    }
+
+    fn on_cancel(&mut self, _now: SimTime, req: RequestKey, out: &mut Vec<Directive>) {
+        if let Some(c) = self.contenders.remove(&req) {
+            if matches!(c.standing, Standing::Suspended(_)) {
+                // The client walked away from a suspended request: the
+                // server must still clean it up.
+                self.stats.aborts += 1;
+                out.push(Directive::AbortRequest(req));
+            }
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime, out: &mut Vec<Directive>) -> Option<SimTime> {
+        self.stats.quantum_auctions += 1;
+
+        // Step 4 first: abort overstaying suspended requests so they don't
+        // win the auction below.
+        let timeout = self.cfg.suspend_timeout;
+        let mut stale: Vec<RequestKey> = self
+            .contenders
+            .iter()
+            .filter(|(_, c)| match c.standing {
+                Standing::Suspended(since) => now.saturating_since(since) >= timeout,
+                Standing::Waiting => false,
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        stale.sort();
+        for k in stale {
+            self.contenders.remove(&k);
+            self.stats.aborts += 1;
+            out.push(Directive::TerminateChannel(k));
+            out.push(Directive::AbortRequest(k));
+        }
+
+        // Steps 1-3.
+        match (self.active, self.top_contender()) {
+            (None, Some(u)) => self.grant(u, out),
+            (Some((_, v_paid)), Some(u)) => {
+                let u_paid = self.contenders[&u].paid;
+                if u_paid > v_paid {
+                    self.demote_active(now, out);
+                    self.grant(u, out);
+                } else {
+                    // v continues; it has not yet paid for the next quantum.
+                    self.active.as_mut().expect("active").1 = 0;
+                    self.stats.quantum_prices.push(v_paid as f64);
+                }
+            }
+            (Some((v, paid)), None) => {
+                // No contention: v keeps the server; its price resets.
+                let _ = (v, paid);
+                self.active.as_mut().expect("active").1 = 0;
+            }
+            (None, None) => {}
+        }
+        Some(now + self.cfg.quantum)
+    }
+
+    fn name(&self) -> &'static str {
+        "quantum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thinner::testutil::{admitted, key, t};
+
+    fn fe() -> QuantumFrontEnd {
+        QuantumFrontEnd::new(QuantumConfig {
+            quantum: SimDuration::from_millis(100),
+            suspend_timeout: SimDuration::from_secs(30),
+        })
+    }
+
+    #[test]
+    fn first_request_admitted_and_keeps_paying() {
+        let mut f = fe();
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        assert_eq!(admitted(&out), vec![key(1, 1)]);
+        assert!(out.contains(&Directive::Encourage(key(1, 1))));
+        assert_eq!(f.active(), Some(key(1, 1)));
+    }
+
+    #[test]
+    fn higher_payer_preempts_active() {
+        let mut f = fe();
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(10), key(2, 1), &mut out);
+        f.on_payment(t(20), key(1, 1), 100, &mut out);
+        f.on_payment(t(30), key(2, 1), 500, &mut out);
+        out.clear();
+        f.on_tick(t(100), &mut out);
+        assert_eq!(out[0], Directive::Suspend(key(1, 1)));
+        assert_eq!(out[1], Directive::Admit(key(2, 1)));
+        assert_eq!(f.active(), Some(key(2, 1)));
+        assert_eq!(f.stats.suspensions, 1);
+    }
+
+    #[test]
+    fn active_retains_on_higher_payment_and_is_zeroed() {
+        let mut f = fe();
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(10), key(2, 1), &mut out);
+        f.on_payment(t(20), key(1, 1), 500, &mut out);
+        f.on_payment(t(30), key(2, 1), 100, &mut out);
+        out.clear();
+        f.on_tick(t(100), &mut out);
+        assert!(out.is_empty(), "v continues silently");
+        // v's payment was zeroed: same contender payment now preempts.
+        f.on_payment(t(110), key(1, 1), 50, &mut out);
+        out.clear();
+        f.on_tick(t(200), &mut out);
+        assert_eq!(out[0], Directive::Suspend(key(1, 1)));
+        assert_eq!(out[1], Directive::Admit(key(2, 1)));
+    }
+
+    #[test]
+    fn suspended_request_resumes_not_admits() {
+        let mut f = fe();
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(10), key(2, 1), &mut out);
+        f.on_payment(t(20), key(2, 1), 500, &mut out);
+        f.on_tick(t(100), &mut out); // 2 preempts 1
+        f.on_payment(t(110), key(1, 1), 900, &mut out);
+        out.clear();
+        f.on_tick(t(200), &mut out); // 1 comes back
+        assert_eq!(out[0], Directive::Suspend(key(2, 1)));
+        assert_eq!(out[1], Directive::Resume(key(1, 1)));
+        assert_eq!(f.stats.resumptions, 1);
+    }
+
+    #[test]
+    fn completion_grants_top_contender_immediately() {
+        let mut f = fe();
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(10), key(2, 1), &mut out);
+        f.on_request(t(10), key(3, 1), &mut out);
+        f.on_payment(t(20), key(2, 1), 10, &mut out);
+        f.on_payment(t(20), key(3, 1), 30, &mut out);
+        out.clear();
+        f.on_server_done(t(50), key(1, 1), &mut out);
+        assert!(out.contains(&Directive::TerminateChannel(key(1, 1))));
+        assert_eq!(admitted(&out), vec![key(3, 1)]);
+        assert_eq!(f.stats.completed, 1);
+    }
+
+    #[test]
+    fn overlong_suspension_aborts() {
+        let mut f = fe();
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(10), key(2, 1), &mut out);
+        f.on_payment(t(20), key(2, 1), 500, &mut out);
+        f.on_tick(t(100), &mut out); // suspend 1
+        out.clear();
+        // 1 stops paying. 30 s later it is aborted.
+        f.on_tick(t(30_100), &mut out);
+        assert!(out.contains(&Directive::AbortRequest(key(1, 1))));
+        assert!(out.contains(&Directive::TerminateChannel(key(1, 1))));
+        assert_eq!(f.stats.aborts, 1);
+        assert_eq!(f.contender_count(), 0);
+    }
+
+    #[test]
+    fn tick_returns_next_quantum() {
+        let mut f = fe();
+        let mut out = Vec::new();
+        let next = f.on_tick(t(100), &mut out);
+        assert_eq!(next, Some(t(200)));
+    }
+
+    #[test]
+    fn cancel_of_suspended_aborts_server_side() {
+        let mut f = fe();
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(10), key(2, 1), &mut out);
+        f.on_payment(t(20), key(2, 1), 500, &mut out);
+        f.on_tick(t(100), &mut out); // suspend 1
+        out.clear();
+        f.on_cancel(t(200), key(1, 1), &mut out);
+        assert!(out.contains(&Directive::AbortRequest(key(1, 1))));
+    }
+
+    #[test]
+    fn x_chunk_request_needs_x_wins() {
+        // Two equal continuous payers: the active one is zeroed each
+        // quantum it wins, so they alternate — each gets ~half the quanta,
+        // which is the bandwidth-proportional outcome for equal bandwidth.
+        let mut f = fe();
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(1), key(2, 1), &mut out);
+        let mut quanta = [0u64, 0];
+        for q in 1..=100u64 {
+            f.on_payment(t(q * 100 - 50), key(1, 1), 100, &mut out);
+            f.on_payment(t(q * 100 - 49), key(2, 1), 100, &mut out);
+            out.clear();
+            f.on_tick(t(q * 100), &mut out);
+            match f.active() {
+                Some(k) if k == key(1, 1) => quanta[0] += 1,
+                Some(k) if k == key(2, 1) => quanta[1] += 1,
+                _ => {}
+            }
+        }
+        let ratio = quanta[0] as f64 / (quanta[0] + quanta[1]) as f64;
+        assert!((0.4..0.6).contains(&ratio), "split {quanta:?}");
+    }
+}

@@ -1,0 +1,429 @@
+//! §3.2 — random drops and aggressive retries.
+//!
+//! The thinner drops requests at random so that the admitted rate matches
+//! the server's capacity `c`, and encouragement consists of telling
+//! dropped clients to *retry now*: clients stream retries in a
+//! congestion-controlled flow, keeping their pipe to the thinner full.
+//! Payment is in-band — the price for access is the number of retries
+//! `r = 1/p` a client must send — and it emerges automatically: the
+//! thinner never communicates `r`.
+//!
+//! The thinner estimates the aggregate retry arrival rate `R` with an
+//! EWMA over fixed buckets and admits each arriving retry (when the
+//! server is free) with probability `p = min(1, c/R)`, which makes the
+//! admitted load approach `c` and the allocation proportional to
+//! delivered retry bandwidth.
+
+use super::FrontEnd;
+use crate::types::{Directive, RequestKey};
+use speakup_net::rng::Pcg32;
+use speakup_net::time::{SimDuration, SimTime};
+use speakup_net::trace::Samples;
+use std::collections::HashMap;
+
+/// Configuration for the retry front end.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryConfig {
+    /// The server capacity `c` the thinner rate-matches to, requests/s.
+    /// (Unlike the auction, §3.3 requires no such estimate — one of the
+    /// paper's arguments for preferring the auction.)
+    pub target_rate: f64,
+    /// Rate-estimation bucket length.
+    pub bucket: SimDuration,
+    /// EWMA weight given to the newest bucket.
+    pub alpha: f64,
+    /// Drop a request whose retries stop arriving for this long.
+    pub idle_timeout: SimDuration,
+    /// Bound on the queue of admitted-but-not-yet-started requests. The
+    /// admission probability targets a sustained load of `c`; this short
+    /// queue absorbs the variance so the server does not idle between
+    /// admission opportunities.
+    pub max_queue: usize,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            target_rate: 100.0,
+            bucket: SimDuration::from_millis(500),
+            alpha: 0.3,
+            idle_timeout: SimDuration::from_secs(10),
+            max_queue: 8,
+        }
+    }
+}
+
+/// Counters for the retry front end.
+#[derive(Clone, Debug, Default)]
+pub struct RetryStats {
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Retry arrivals observed (including first attempts).
+    pub retries_seen: u64,
+    /// Requests dropped for idleness.
+    pub idle_drops: u64,
+    /// Retries-per-admission samples: the emergent price `r`.
+    pub price_retries: Samples,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    retries: u64,
+    last_retry: SimTime,
+}
+
+/// The §3.2 front end. See module docs.
+pub struct RetryFrontEnd {
+    cfg: RetryConfig,
+    busy: Option<RequestKey>,
+    /// Admitted requests waiting for the server (FIFO).
+    queue: std::collections::VecDeque<RequestKey>,
+    pending: HashMap<RequestKey, Pending>,
+    /// Retry count in the current estimation bucket.
+    bucket_count: u64,
+    bucket_started: SimTime,
+    /// EWMA of the retry arrival rate, retries/second.
+    rate_estimate: f64,
+    rng: Pcg32,
+    /// Counters and price samples.
+    pub stats: RetryStats,
+}
+
+impl RetryFrontEnd {
+    /// A retry thinner with the given configuration and RNG seed.
+    pub fn new(cfg: RetryConfig, seed: u64) -> Self {
+        assert!(cfg.target_rate > 0.0);
+        assert!((0.0..=1.0).contains(&cfg.alpha));
+        RetryFrontEnd {
+            cfg,
+            busy: None,
+            queue: std::collections::VecDeque::new(),
+            pending: HashMap::new(),
+            bucket_count: 0,
+            bucket_started: SimTime::ZERO,
+            rate_estimate: 0.0,
+            rng: Pcg32::new(seed, 0x3272),
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// The current admission probability `p = min(1, c/R)`.
+    pub fn admission_probability(&self) -> f64 {
+        if self.rate_estimate <= self.cfg.target_rate {
+            1.0
+        } else {
+            self.cfg.target_rate / self.rate_estimate
+        }
+    }
+
+    /// The current estimate of the aggregate retry rate `R`, retries/s.
+    pub fn estimated_rate(&self) -> f64 {
+        self.rate_estimate
+    }
+
+    /// Requests currently retrying.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Admitted requests waiting for the server.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn roll_bucket(&mut self, now: SimTime) {
+        // Fold any completed buckets into the EWMA. Multiple elapsed
+        // buckets decay the estimate toward their (mostly zero) counts.
+        let bucket = self.cfg.bucket;
+        while now.saturating_since(self.bucket_started) >= bucket {
+            let rate = self.bucket_count as f64 / bucket.as_secs_f64();
+            self.rate_estimate = if self.rate_estimate == 0.0 {
+                rate
+            } else {
+                (1.0 - self.cfg.alpha) * self.rate_estimate + self.cfg.alpha * rate
+            };
+            self.bucket_count = 0;
+            self.bucket_started = self.bucket_started + bucket;
+        }
+    }
+
+    /// One retry (or first attempt) arrived: an admission opportunity.
+    fn attempt(&mut self, now: SimTime, req: RequestKey, out: &mut Vec<Directive>) {
+        self.roll_bucket(now);
+        self.bucket_count += 1;
+        self.stats.retries_seen += 1;
+        let entry = self.pending.entry(req).or_insert(Pending {
+            retries: 0,
+            last_retry: now,
+        });
+        entry.retries += 1;
+        entry.last_retry = now;
+        let first_sight = entry.retries == 1;
+
+        // A winning coin flip admits the request: straight to the server
+        // when it is free, else into the short rate-smoothing queue.
+        let can_take = self.busy.is_none()
+            || (!self.queue.contains(&req) && self.queue.len() < self.cfg.max_queue);
+        if can_take {
+            let p = self.admission_probability();
+            if self.rng.chance(p) {
+                let pend = self.pending.remove(&req).expect("just inserted");
+                self.stats.price_retries.push(pend.retries as f64);
+                out.push(Directive::TerminateChannel(req));
+                if self.busy.is_none() {
+                    self.busy = Some(req);
+                    self.stats.admitted += 1;
+                    out.push(Directive::Admit(req));
+                } else {
+                    self.queue.push_back(req);
+                }
+                return;
+            }
+        }
+        if first_sight {
+            // First sight of this request: tell the client to start the
+            // congestion-controlled retry stream.
+            out.push(Directive::Encourage(req));
+        }
+    }
+}
+
+impl FrontEnd for RetryFrontEnd {
+    fn on_request(&mut self, now: SimTime, req: RequestKey, out: &mut Vec<Directive>) {
+        self.attempt(now, req, out);
+    }
+
+    /// Each payment event is one retry arriving on the retry stream.
+    fn on_payment(&mut self, now: SimTime, req: RequestKey, _bytes: u64, out: &mut Vec<Directive>) {
+        if self.busy == Some(req) {
+            return; // stragglers after admission
+        }
+        self.attempt(now, req, out);
+    }
+
+    fn on_server_done(&mut self, now: SimTime, req: RequestKey, out: &mut Vec<Directive>) {
+        assert_eq!(self.busy, Some(req), "done for a request not on the server");
+        self.busy = None;
+        self.roll_bucket(now);
+        if let Some(next) = self.queue.pop_front() {
+            self.busy = Some(next);
+            self.stats.admitted += 1;
+            out.push(Directive::Admit(next));
+        }
+    }
+
+    fn on_cancel(&mut self, _now: SimTime, req: RequestKey, _out: &mut Vec<Directive>) {
+        self.pending.remove(&req);
+        self.queue.retain(|k| *k != req);
+    }
+
+    fn on_tick(&mut self, now: SimTime, out: &mut Vec<Directive>) -> Option<SimTime> {
+        self.roll_bucket(now);
+        let timeout = self.cfg.idle_timeout;
+        let mut stale: Vec<RequestKey> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now.saturating_since(p.last_retry) >= timeout)
+            .map(|(k, _)| *k)
+            .collect();
+        stale.sort();
+        for k in stale {
+            self.pending.remove(&k);
+            self.stats.idle_drops += 1;
+            out.push(Directive::Drop(k));
+        }
+        self.pending
+            .values()
+            .map(|p| p.last_retry + timeout)
+            .min()
+            .or(Some(now + self.cfg.bucket))
+    }
+
+    fn name(&self) -> &'static str {
+        "retry"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thinner::testutil::{admitted, encouraged, key, t};
+
+    fn fe(c: f64) -> RetryFrontEnd {
+        // max_queue = 0: the pure §3.2 mechanism (admit only when free),
+        // which is what most of these tests pin down. The queue variant
+        // is covered separately below.
+        RetryFrontEnd::new(
+            RetryConfig {
+                target_rate: c,
+                max_queue: 0,
+                ..RetryConfig::default()
+            },
+            7,
+        )
+    }
+
+    fn fe_queued(c: f64) -> RetryFrontEnd {
+        RetryFrontEnd::new(
+            RetryConfig {
+                target_rate: c,
+                ..RetryConfig::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn smoothing_queue_feeds_server_fifo() {
+        let mut f = fe_queued(100.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out); // occupies the server
+        out.clear();
+        // Two more requests at p = 1: both admitted into the queue.
+        f.on_request(t(1), key(2, 1), &mut out);
+        f.on_request(t(2), key(3, 1), &mut out);
+        assert!(
+            admitted(&out).is_empty(),
+            "server busy: queued, not started"
+        );
+        assert_eq!(f.queue_len(), 2);
+        out.clear();
+        f.on_server_done(t(10), key(1, 1), &mut out);
+        assert_eq!(admitted(&out), vec![key(2, 1)]);
+        out.clear();
+        f.on_server_done(t(20), key(2, 1), &mut out);
+        assert_eq!(admitted(&out), vec![key(3, 1)]);
+        assert_eq!(f.queue_len(), 0);
+    }
+
+    #[test]
+    fn cancel_removes_from_queue() {
+        let mut f = fe_queued(100.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(1), key(2, 1), &mut out);
+        f.on_cancel(t(2), key(2, 1), &mut out);
+        assert_eq!(f.queue_len(), 0);
+        out.clear();
+        f.on_server_done(t(10), key(1, 1), &mut out);
+        assert!(admitted(&out).is_empty());
+    }
+
+    #[test]
+    fn first_request_admitted_when_idle_and_unloaded() {
+        let mut f = fe(100.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        // Rate estimate is 0 => p = 1 => admitted.
+        assert_eq!(admitted(&out), vec![key(1, 1)]);
+    }
+
+    #[test]
+    fn busy_server_encourages_first_attempt_only() {
+        let mut f = fe(100.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        out.clear();
+        f.on_request(t(1), key(2, 1), &mut out);
+        assert_eq!(encouraged(&out), vec![key(2, 1)]);
+        out.clear();
+        f.on_payment(t(2), key(2, 1), 100, &mut out);
+        assert!(encouraged(&out).is_empty(), "no duplicate encouragement");
+    }
+
+    #[test]
+    fn price_counts_retries_until_admission() {
+        let mut f = fe(100.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out); // occupies the server
+        f.on_request(t(1), key(2, 1), &mut out);
+        for i in 0..5 {
+            f.on_payment(t(2 + i), key(2, 1), 100, &mut out);
+        }
+        out.clear();
+        f.on_server_done(t(10), key(1, 1), &mut out);
+        // Next retry wins (p=1 with tiny estimated rate).
+        f.on_payment(t(11), key(2, 1), 100, &mut out);
+        assert_eq!(admitted(&out), vec![key(2, 1)]);
+        // Price: 1 first attempt + 5 retries + 1 winning retry = 7.
+        assert_eq!(f.stats.price_retries.values(), &[1.0, 7.0]);
+    }
+
+    #[test]
+    fn admission_probability_tracks_rate() {
+        let mut f = fe(10.0);
+        let mut out = Vec::new();
+        // Saturate with retries from a busy server at ~1000/s for 3 s.
+        f.on_request(t(0), key(1, 1), &mut out);
+        for ms in 1..3000u64 {
+            f.on_payment(t(ms), key(2, 1), 100, &mut out);
+        }
+        let r = f.estimated_rate();
+        assert!((800.0..1200.0).contains(&r), "rate estimate {r}");
+        let p = f.admission_probability();
+        assert!((0.008..0.0125).contains(&p), "p {p}");
+    }
+
+    #[test]
+    fn admissions_rate_matched_under_load() {
+        // Server alternates busy/free; retries arrive at 1000/s; target 50/s.
+        // Admissions per second should be ≈ 50 when the server is mostly free.
+        let mut f = fe(50.0);
+        let mut out = Vec::new();
+        let mut admissions = 0u64;
+        let mut clock_ms = 0u64;
+        let mut step = |f: &mut RetryFrontEnd, clock_ms: u64, out: &mut Vec<Directive>| -> u64 {
+            f.on_payment(t(clock_ms), key(2, 1), 100, out);
+            let mut n = 0;
+            for d in out.drain(..) {
+                if let Directive::Admit(k) = d {
+                    n += 1;
+                    // Instant service; the "client" keeps retrying.
+                    f.on_server_done(t(clock_ms), k, &mut Vec::new());
+                }
+            }
+            n
+        };
+        // Warm the estimator (2 s at 1000 retries/s).
+        for _ in 0..2000 {
+            clock_ms += 1;
+            step(&mut f, clock_ms, &mut out);
+        }
+        // Measure for 10 s.
+        for _ in 0..10_000 {
+            clock_ms += 1;
+            admissions += step(&mut f, clock_ms, &mut out);
+        }
+        let rate = admissions as f64 / 10.0;
+        assert!((35.0..70.0).contains(&rate), "admission rate {rate}");
+    }
+
+    #[test]
+    fn idle_requests_dropped_on_tick() {
+        let mut f = fe(100.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(1), key(2, 1), &mut out);
+        out.clear();
+        // key(2,1) never retries again; 10 s later it is dropped.
+        f.on_tick(t(11_001), &mut out);
+        assert_eq!(
+            out.iter()
+                .filter(|d| matches!(d, Directive::Drop(k) if *k == key(2, 1)))
+                .count(),
+            1
+        );
+        assert_eq!(f.stats.idle_drops, 1);
+        assert_eq!(f.pending_count(), 0);
+    }
+
+    #[test]
+    fn cancel_removes_pending() {
+        let mut f = fe(100.0);
+        let mut out = Vec::new();
+        f.on_request(t(0), key(1, 1), &mut out);
+        f.on_request(t(1), key(2, 1), &mut out);
+        f.on_cancel(t(2), key(2, 1), &mut out);
+        assert_eq!(f.pending_count(), 0);
+    }
+}

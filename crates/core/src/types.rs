@@ -1,0 +1,75 @@
+//! Identifiers and request vocabulary shared across the crate.
+
+use std::fmt;
+
+/// Identifies a client as seen by the thinner.
+///
+/// Note the paper's threat model (§2.2): clients can spoof and NAT can
+/// merge them, so no speak-up mechanism is allowed to key fairness
+/// decisions on this id. It exists for *measurement* (classifying served
+/// requests as good/bad) and for correlating a request with its payment
+/// channel, mirroring the `id` field the prototype puts in both HTTP
+/// requests (§6).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(pub u32);
+
+/// A client-local request sequence number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RequestId(pub u64);
+
+/// Globally identifies a request: (client, per-client sequence).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RequestKey {
+    /// The requesting client (for correlation/measurement only).
+    pub client: ClientId,
+    /// The client-local request id.
+    pub req: RequestId,
+}
+
+impl RequestKey {
+    /// Pair a client with a request id.
+    pub fn new(client: ClientId, req: RequestId) -> Self {
+        RequestKey { client, req }
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for RequestKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.client, self.req.0)
+    }
+}
+
+/// What the thinner wants its surrounding transport/driver to do.
+///
+/// The thinner front ends are pure state machines (in the style of
+/// event-driven network stacks): they never touch sockets, flows, or the
+/// server directly. Every input event returns directives that the driver
+/// executes against whatever substrate hosts it — the packet simulator in
+/// `speakup-exp`, real TCP sockets in `speakup-proxy`, or a bare test
+/// harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Directive {
+    /// Dispatch this request to the server (it won admission).
+    Admit(RequestKey),
+    /// Ask the client to start (or keep) paying: open a payment channel
+    /// and stream dummy bytes (§3.3), or stream retries (§3.2).
+    Encourage(RequestKey),
+    /// Reject the request with no feedback. The baseline ("no speak-up")
+    /// behaviour for an overloaded server.
+    Drop(RequestKey),
+    /// Terminate the request's payment channel (it won the auction, or the
+    /// channel timed out).
+    TerminateChannel(RequestKey),
+    /// §5 only: suspend the currently executing request on the server.
+    Suspend(RequestKey),
+    /// §5 only: resume a previously suspended request.
+    Resume(RequestKey),
+    /// §5 only: abort a request that overstayed its suspension.
+    AbortRequest(RequestKey),
+}

@@ -1,0 +1,319 @@
+//! The client as a simulator application — §7.1's custom Web client.
+//!
+//! Requests arrive by a Poisson process (rate λ), at most `w` outstanding,
+//! overflow backlogged with a 10-second denial timeout. Under
+//! encouragement the client runs the §6 POST loop: open a payment flow,
+//! send a header plus a 1 MB dummy chunk, and when the chunk is fully
+//! acknowledged *and* the thinner says `Continue`, start the next POST on
+//! a fresh flow (fresh slow start and a quiescent gap, both of which the
+//! paper analyzes in §3.4/§7.5). Bad clients run the same loop — just for
+//! many requests concurrently, which is how the paper models §3.4's
+//! concurrent-connection cheat.
+//!
+//! In retry mode (§3.2) the client streams small retry messages in a
+//! congestion-controlled flow instead.
+
+use crate::tags::{pack, sizes, unpack, Kind};
+use speakup_core::client::{ClientProfile, ClientStats, RequestTracker};
+use speakup_core::types::{ClientId, RequestId};
+use speakup_net::packet::{FlowId, NodeId};
+use speakup_net::rng::Pcg32;
+use speakup_net::sim::{App, Ctx};
+use speakup_net::time::SimTime;
+use speakup_net::trace::Samples;
+use std::collections::BTreeMap;
+
+const TOKEN_FIRE: u64 = u64::MAX;
+/// Give-up timer tokens carry the request id directly (< 2^56).
+const RETRY_BATCH: u64 = 8;
+
+/// How the client pays when encouraged.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PaymentMode {
+    /// No payment: baseline clients just wait (and give up).
+    None,
+    /// §3.3 / §5: POST dummy-byte chunks.
+    Posts,
+    /// §3.2: stream small retries.
+    Retries,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Channel {
+    flow: FlowId,
+    post_start: SimTime,
+    drained: bool,
+    got_continue: bool,
+    closed: bool,
+}
+
+/// Client-side measurements beyond [`ClientStats`].
+#[derive(Debug, Default)]
+pub struct ClientMetrics {
+    /// Time spent actively uploading dummy bytes per served request (Fig 4).
+    pub payment_time: Samples,
+    /// Payment bytes *sent* (acked) per served request, client-side view.
+    pub payment_sent: Samples,
+}
+
+/// The client application. See module docs.
+pub struct ClientAgent {
+    id: ClientId,
+    thinner: NodeId,
+    mode: PaymentMode,
+    tracker: RequestTracker,
+    rng: Pcg32,
+    up_flow: Option<FlowId>,
+    channels: BTreeMap<RequestId, Channel>,
+    flow_to_req: BTreeMap<FlowId, RequestId>,
+    /// Accumulated active-paying seconds and acked payment bytes, per
+    /// in-flight request.
+    paying: BTreeMap<RequestId, (f64, u64)>,
+    /// Client-side metrics.
+    pub metrics: ClientMetrics,
+}
+
+impl ClientAgent {
+    /// Create a client of the given profile talking to `thinner`.
+    pub fn new(
+        id: ClientId,
+        thinner: NodeId,
+        profile: ClientProfile,
+        mode: PaymentMode,
+        seed: u64,
+    ) -> Self {
+        ClientAgent {
+            id,
+            thinner,
+            mode,
+            tracker: RequestTracker::new(profile),
+            rng: Pcg32::new(seed, 0xc11e47 ^ id.0 as u64),
+            up_flow: None,
+            channels: BTreeMap::new(),
+            flow_to_req: BTreeMap::new(),
+            paying: BTreeMap::new(),
+            metrics: ClientMetrics::default(),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Request bookkeeping results.
+    pub fn stats(&self) -> &ClientStats {
+        &self.tracker.stats
+    }
+
+    fn schedule_fire(&mut self, ctx: &mut Ctx) {
+        let gap = self.tracker.profile().next_gap(&mut self.rng);
+        ctx.set_timer(gap, TOKEN_FIRE);
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx, id: RequestId) {
+        let up = self.up_flow.expect("issue before start");
+        ctx.send(up, sizes::REQUEST, pack(Kind::Request, id));
+        if let Some(give_up) = self.tracker.profile().give_up {
+            ctx.set_timer(give_up, id.0);
+        }
+    }
+
+    fn start_post(&mut self, ctx: &mut Ctx, id: RequestId) {
+        let flow = ctx.open_default_flow(self.thinner);
+        let post_bytes = self.tracker.profile().post_bytes;
+        ctx.send(flow, sizes::PAYMENT_HEADER, pack(Kind::PaymentHeader, id));
+        ctx.send(flow, post_bytes, pack(Kind::PaymentChunk, id));
+        self.channels.insert(
+            id,
+            Channel {
+                flow,
+                post_start: ctx.now(),
+                drained: false,
+                got_continue: false,
+                closed: false,
+            },
+        );
+        self.flow_to_req.insert(flow, id);
+        self.paying.entry(id).or_insert((0.0, 0));
+    }
+
+    fn start_retries(&mut self, ctx: &mut Ctx, id: RequestId) {
+        let flow = ctx.open_default_flow(self.thinner);
+        for _ in 0..RETRY_BATCH {
+            ctx.send(
+                flow,
+                self.tracker.profile().retry_bytes,
+                pack(Kind::Retry, id),
+            );
+        }
+        self.channels.insert(
+            id,
+            Channel {
+                flow,
+                post_start: ctx.now(),
+                drained: false,
+                got_continue: false,
+                closed: false,
+            },
+        );
+        self.flow_to_req.insert(flow, id);
+        self.paying.entry(id).or_insert((0.0, 0));
+    }
+
+    fn try_repost(&mut self, ctx: &mut Ctx, id: RequestId) {
+        let Some(ch) = self.channels.get(&id) else {
+            return;
+        };
+        if ch.drained && ch.got_continue && !ch.closed {
+            self.close_channel(ctx, id, false);
+            if self.tracker.outstanding(id).is_some() {
+                self.start_post(ctx, id);
+            }
+        }
+    }
+
+    /// Stop paying for `id`. Accounts the active period; aborts the flow
+    /// if we are the ones walking away (`abort` true).
+    fn close_channel(&mut self, ctx: &mut Ctx, id: RequestId, abort: bool) {
+        let Some(ch) = self.channels.remove(&id) else {
+            return;
+        };
+        self.flow_to_req.remove(&ch.flow);
+        let acked = ctx.flow(ch.flow).acked_bytes();
+        let entry = self.paying.entry(id).or_insert((0.0, 0));
+        entry.1 += acked;
+        if !ch.drained {
+            entry.0 += ctx.now().saturating_since(ch.post_start).as_secs_f64();
+        }
+        if abort && !ctx.flow(ch.flow).is_aborted() {
+            ctx.abort_flow(ch.flow);
+        }
+    }
+
+    fn finish_request(&mut self, ctx: &mut Ctx, id: RequestId, served: bool) {
+        self.close_channel(ctx, id, true);
+        let (pay_time, pay_bytes) = self.paying.remove(&id).unwrap_or((0.0, 0));
+        let now = ctx.now();
+        let next = if served {
+            self.metrics.payment_time.push(pay_time);
+            self.metrics.payment_sent.push(pay_bytes as f64);
+            self.tracker.on_served(now, id)
+        } else {
+            self.tracker.on_dropped(now, id)
+        };
+        if let Some(n) = next {
+            self.issue(ctx, n);
+        }
+    }
+}
+
+impl App for ClientAgent {
+    fn start(&mut self, ctx: &mut Ctx) {
+        self.up_flow = Some(ctx.open_default_flow(self.thinner));
+        self.schedule_fire(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if token == TOKEN_FIRE {
+            let now = ctx.now();
+            if let Some(id) = self.tracker.on_fire(now) {
+                self.issue(ctx, id);
+            }
+            self.schedule_fire(ctx);
+            return;
+        }
+        // Give-up timer for request `token`.
+        let id = RequestId(token);
+        let now = ctx.now();
+        let overdue = self
+            .tracker
+            .outstanding(id)
+            .map(|o| {
+                self.tracker
+                    .profile()
+                    .give_up
+                    .map(|g| now.saturating_since(o.issued) >= g)
+                    .unwrap_or(false)
+            })
+            .unwrap_or(false);
+        if overdue {
+            self.close_channel(ctx, id, true);
+            self.paying.remove(&id);
+            if let Some(n) = self.tracker.on_gave_up(now, id) {
+                self.issue(ctx, n);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, _flow: FlowId, tag: u64) {
+        let (kind, id) = unpack(tag);
+        match kind {
+            Kind::Encourage => {
+                if self.tracker.outstanding(id).is_some() && !self.channels.contains_key(&id) {
+                    match self.mode {
+                        PaymentMode::None => {}
+                        PaymentMode::Posts => self.start_post(ctx, id),
+                        PaymentMode::Retries => self.start_retries(ctx, id),
+                    }
+                }
+            }
+            Kind::Continue => {
+                if let Some(ch) = self.channels.get_mut(&id) {
+                    ch.got_continue = true;
+                }
+                self.try_repost(ctx, id);
+            }
+            Kind::Response => self.finish_request(ctx, id, true),
+            Kind::Dropped => self.finish_request(ctx, id, false),
+            _ => {}
+        }
+    }
+
+    fn on_flow_drained(&mut self, ctx: &mut Ctx, flow: FlowId) {
+        let Some(&id) = self.flow_to_req.get(&flow) else {
+            return;
+        };
+        match self.mode {
+            PaymentMode::Retries => {
+                // Keep the retry stream full while the request lives.
+                if self.tracker.outstanding(id).is_some() {
+                    let bytes = self.tracker.profile().retry_bytes;
+                    for _ in 0..RETRY_BATCH {
+                        ctx.send(flow, bytes, pack(Kind::Retry, id));
+                    }
+                }
+            }
+            _ => {
+                if let Some(ch) = self.channels.get_mut(&id) {
+                    if !ch.drained {
+                        ch.drained = true;
+                        let dt = ctx.now().saturating_since(ch.post_start).as_secs_f64();
+                        self.paying.entry(id).or_insert((0.0, 0)).0 += dt;
+                    }
+                }
+                self.try_repost(ctx, id);
+            }
+        }
+    }
+
+    fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId) {
+        // The thinner terminated this payment channel (auction won, drop,
+        // or §5 completion). Stop paying; the verdict arrives separately.
+        let Some(&id) = self.flow_to_req.get(&flow) else {
+            return;
+        };
+        if let Some(ch) = self.channels.get_mut(&id) {
+            ch.closed = true;
+            if !ch.drained {
+                ch.drained = true;
+                let dt = ctx.now().saturating_since(ch.post_start).as_secs_f64();
+                self.paying.entry(id).or_insert((0.0, 0)).0 += dt;
+            }
+            let acked = ctx.flow(flow).acked_bytes();
+            self.paying.entry(id).or_insert((0.0, 0)).1 += acked;
+        }
+        self.flow_to_req.remove(&flow);
+        self.channels.remove(&id);
+    }
+}

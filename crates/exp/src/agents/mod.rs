@@ -1,0 +1,5 @@
+//! Simulator applications: the thinner, clients, and Fig 9's bystanders.
+
+pub mod client;
+pub mod thinner;
+pub mod web;

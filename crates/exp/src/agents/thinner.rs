@@ -1,0 +1,474 @@
+//! The thinner as a simulator application.
+//!
+//! Wires a [`FrontEnd`] (any of the four variants) plus the
+//! [`EmulatedServer`] into the packet world: terminates client flows,
+//! tallies payment bytes as they are delivered, executes directives
+//! (admit/encourage/drop/suspend/...), and answers clients over per-client
+//! downstream flows.
+
+use crate::tags::{pack, sizes, unpack, Kind};
+use speakup_core::metrics::Allocation;
+use speakup_core::server::EmulatedServer;
+use speakup_core::thinner::FrontEnd;
+use speakup_core::types::{ClientId, Directive, RequestKey};
+use speakup_net::packet::{FlowId, NodeId};
+use speakup_net::sim::{App, Ctx, TimerHandle};
+use speakup_net::time::{SimDuration, SimTime};
+use speakup_net::trace::Samples;
+use std::collections::BTreeMap;
+
+const TOKEN_SERVER_DONE: u64 = u64::MAX;
+const TOKEN_TICK: u64 = u64::MAX - 1;
+
+/// Where a request stands, thinner-side.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ReqState {
+    /// Known, not yet on the server (paying, §3.3/§5 waiting).
+    Contending,
+    /// Executing (or suspended, §5).
+    OnServer,
+}
+
+/// Static facts about one client, provided by the scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientInfo {
+    /// The client's id.
+    pub id: ClientId,
+    /// Whether it counts as an attacker in reports.
+    pub is_bad: bool,
+    /// Difficulty multiplier of this client's requests (§5).
+    pub difficulty: f64,
+    /// Whether the client presents a fresh identity per request (§2.2
+    /// spoofing). The front end then sees an *alias* key; the agent maps
+    /// directives back to the real client for routing and metrics.
+    pub spoofs: bool,
+}
+
+/// One registered payment channel.
+#[derive(Clone, Copy, Debug)]
+struct Channel {
+    flow: FlowId,
+    /// Delivered-byte watermark already credited to the front end.
+    seen: u64,
+}
+
+/// Measurements the thinner takes (the paper's Figs 2–5 feed from here).
+#[derive(Debug, Default)]
+pub struct ThinnerMetrics {
+    /// Completed requests by class.
+    pub allocation: Allocation,
+    /// §5: completed quanta (busy time / τ) by class.
+    pub quanta: Allocation,
+    /// Winning bids (bytes/request) for good clients' served requests.
+    pub price_good: Samples,
+    /// Winning bids for bad clients' served requests.
+    pub price_bad: Samples,
+    /// Payment-channel bytes accepted in total (the §7.1 "sunk" traffic).
+    pub payment_bytes_total: u64,
+    /// Requests dropped (channel timeout, §5 abort, or baseline drop).
+    pub drops: u64,
+}
+
+/// The thinner application. See module docs.
+pub struct ThinnerAgent {
+    fe: Box<dyn FrontEnd>,
+    server: EmulatedServer,
+    /// Which node hosts which client.
+    clients_by_node: BTreeMap<NodeId, ClientInfo>,
+    nodes_by_client: BTreeMap<ClientId, NodeId>,
+    down_flows: BTreeMap<ClientId, FlowId>,
+    channels: BTreeMap<RequestKey, Channel>,
+    states: BTreeMap<RequestKey, ReqState>,
+    /// Bytes paid per request so far (for price metrics at admission).
+    paid: BTreeMap<RequestKey, u64>,
+    server_timer: Option<TimerHandle>,
+    tick_timer: Option<TimerHandle>,
+    /// Spoofing support: real key -> alias presented to the front end,
+    /// and the reverse for directive translation.
+    alias_of: BTreeMap<RequestKey, RequestKey>,
+    real_of: BTreeMap<RequestKey, RequestKey>,
+    next_alias: u32,
+    /// §5 quantum for quanta accounting, if in quantum mode.
+    quantum: Option<SimDuration>,
+    scratch: Vec<Directive>,
+    /// Collected measurements.
+    pub metrics: ThinnerMetrics,
+}
+
+impl ThinnerAgent {
+    /// Build a thinner over the given front end and server, for the given
+    /// client placement.
+    pub fn new(
+        fe: Box<dyn FrontEnd>,
+        server: EmulatedServer,
+        clients: impl IntoIterator<Item = (NodeId, ClientInfo)>,
+        quantum: Option<SimDuration>,
+    ) -> Self {
+        let clients_by_node: BTreeMap<NodeId, ClientInfo> = clients.into_iter().collect();
+        let nodes_by_client = clients_by_node.iter().map(|(n, i)| (i.id, *n)).collect();
+        ThinnerAgent {
+            fe,
+            server,
+            clients_by_node,
+            nodes_by_client,
+            down_flows: BTreeMap::new(),
+            channels: BTreeMap::new(),
+            states: BTreeMap::new(),
+            paid: BTreeMap::new(),
+            server_timer: None,
+            tick_timer: None,
+            alias_of: BTreeMap::new(),
+            real_of: BTreeMap::new(),
+            next_alias: 1 << 24,
+            quantum,
+            scratch: Vec::new(),
+            metrics: ThinnerMetrics::default(),
+        }
+    }
+
+    /// Read access to the server (utilization, completion counts).
+    pub fn server(&self) -> &EmulatedServer {
+        &self.server
+    }
+
+    /// Read access to the front end (e.g. downcasting for its stats).
+    pub fn front_end(&self) -> &dyn FrontEnd {
+        self.fe.as_ref()
+    }
+
+    fn info(&self, client: ClientId) -> ClientInfo {
+        let node = self.nodes_by_client[&client];
+        self.clients_by_node[&node]
+    }
+
+    /// The key the front end sees for a (real) request: the real key for
+    /// honest clients, a per-request fresh identity for spoofers.
+    fn fe_key(&mut self, real: RequestKey, spoofs: bool) -> RequestKey {
+        if !spoofs {
+            return real;
+        }
+        if let Some(&a) = self.alias_of.get(&real) {
+            return a;
+        }
+        let alias = RequestKey::new(ClientId(self.next_alias), real.req);
+        self.next_alias += 1;
+        self.alias_of.insert(real, alias);
+        self.real_of.insert(alias, real);
+        alias
+    }
+
+    /// Translate a front-end key back to the real request.
+    fn real_key(&self, k: RequestKey) -> RequestKey {
+        self.real_of.get(&k).copied().unwrap_or(k)
+    }
+
+    fn drop_alias(&mut self, real: RequestKey) {
+        if let Some(a) = self.alias_of.remove(&real) {
+            self.real_of.remove(&a);
+        }
+    }
+
+    /// The alias already registered for `real`, or `real` itself.
+    fn existing_fe_key(&self, real: RequestKey) -> RequestKey {
+        self.alias_of.get(&real).copied().unwrap_or(real)
+    }
+
+    fn down_flow(&mut self, ctx: &mut Ctx, client: ClientId) -> FlowId {
+        if let Some(&f) = self.down_flows.get(&client) {
+            return f;
+        }
+        let node = self.nodes_by_client[&client];
+        let f = ctx.open_default_flow(node);
+        self.down_flows.insert(client, f);
+        f
+    }
+
+    fn tell(&mut self, ctx: &mut Ctx, client: ClientId, kind: Kind, req: RequestKey, bytes: u64) {
+        let f = self.down_flow(ctx, client);
+        ctx.send(f, bytes, pack(kind, req.req));
+    }
+
+    /// Credit any newly delivered bytes on `key`'s channel to the front
+    /// end. Returns the delta.
+    fn sync_channel(&mut self, ctx: &mut Ctx, key: RequestKey) -> u64 {
+        let Some(ch) = self.channels.get_mut(&key) else {
+            return 0;
+        };
+        let delivered = ctx.flow(ch.flow).delivered_bytes();
+        let delta = delivered.saturating_sub(ch.seen);
+        if delta > 0 {
+            ch.seen = delivered;
+            *self.paid.entry(key).or_insert(0) += delta;
+            self.metrics.payment_bytes_total += delta;
+            let now = ctx.now();
+            let fe_key = self.existing_fe_key(key);
+            let mut out = std::mem::take(&mut self.scratch);
+            self.fe.on_payment(now, fe_key, delta, &mut out);
+            // Payments never emit directives in auction/quantum mode; the
+            // retry mode feeds per-message payments elsewhere. Anything
+            // that does arrive is processed all the same.
+            if !out.is_empty() {
+                let drained: Vec<Directive> = out.drain(..).collect();
+                self.scratch = out;
+                self.execute(ctx, drained);
+            } else {
+                self.scratch = out;
+            }
+        }
+        delta
+    }
+
+    fn sync_all_channels(&mut self, ctx: &mut Ctx) {
+        let keys: Vec<RequestKey> = self.channels.keys().copied().collect();
+        for key in keys {
+            self.sync_channel(ctx, key);
+        }
+    }
+
+    fn call_fe(
+        &mut self,
+        ctx: &mut Ctx,
+        f: impl FnOnce(&mut dyn FrontEnd, SimTime, &mut Vec<Directive>),
+    ) {
+        let now = ctx.now();
+        let mut out = std::mem::take(&mut self.scratch);
+        f(self.fe.as_mut(), now, &mut out);
+        let directives: Vec<Directive> = out.drain(..).collect();
+        self.scratch = out;
+        self.execute(ctx, directives);
+    }
+
+    fn execute(&mut self, ctx: &mut Ctx, directives: Vec<Directive>) {
+        for d in directives {
+            // Translate any front-end alias back to the real request.
+            let d = match d {
+                Directive::Admit(k) => Directive::Admit(self.real_key(k)),
+                Directive::Encourage(k) => Directive::Encourage(self.real_key(k)),
+                Directive::Drop(k) => Directive::Drop(self.real_key(k)),
+                Directive::TerminateChannel(k) => Directive::TerminateChannel(self.real_key(k)),
+                Directive::Suspend(k) => Directive::Suspend(self.real_key(k)),
+                Directive::Resume(k) => Directive::Resume(self.real_key(k)),
+                Directive::AbortRequest(k) => Directive::AbortRequest(self.real_key(k)),
+            };
+            match d {
+                Directive::Admit(k) => self.admit(ctx, k),
+                Directive::Encourage(k) => {
+                    self.states.entry(k).or_insert(ReqState::Contending);
+                    self.tell(ctx, k.client, Kind::Encourage, k, sizes::CONTROL);
+                }
+                Directive::Drop(k) => {
+                    self.metrics.drops += 1;
+                    self.cleanup_channel(ctx, k, false);
+                    self.states.remove(&k);
+                    self.paid.remove(&k);
+                    self.drop_alias(k);
+                    self.tell(ctx, k.client, Kind::Dropped, k, sizes::CONTROL);
+                }
+                Directive::TerminateChannel(k) => {
+                    self.cleanup_channel(ctx, k, true);
+                }
+                Directive::Suspend(k) => {
+                    let now = ctx.now();
+                    self.server.suspend(now, k);
+                    if let Some(h) = self.server_timer.take() {
+                        ctx.cancel_timer(h);
+                    }
+                    self.credit_quantum_progress(k);
+                }
+                Directive::Resume(k) => {
+                    let now = ctx.now();
+                    let finish = self.server.resume(now, k);
+                    self.arm_server_timer(ctx, finish);
+                    self.states.insert(k, ReqState::OnServer);
+                }
+                Directive::AbortRequest(k) => {
+                    self.server.abort_suspended(k);
+                    self.metrics.drops += 1;
+                    self.cleanup_channel(ctx, k, false);
+                    self.states.remove(&k);
+                    self.paid.remove(&k);
+                    self.drop_alias(k);
+                    self.tell(ctx, k.client, Kind::Dropped, k, sizes::CONTROL);
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, ctx: &mut Ctx, k: RequestKey) {
+        let info = self.info(k.client);
+        let now = ctx.now();
+        let finish = self.server.start_request(now, k, info.difficulty);
+        self.arm_server_timer(ctx, finish);
+        self.states.insert(k, ReqState::OnServer);
+        // Record the price this admission paid.
+        let paid = self.paid.get(&k).copied().unwrap_or(0) as f64;
+        if info.is_bad {
+            self.metrics.price_bad.push(paid);
+        } else {
+            self.metrics.price_good.push(paid);
+        }
+    }
+
+    fn arm_server_timer(&mut self, ctx: &mut Ctx, finish: SimTime) {
+        if let Some(h) = self.server_timer.take() {
+            ctx.cancel_timer(h);
+        }
+        let delay = finish.saturating_since(ctx.now());
+        self.server_timer = Some(ctx.set_timer(delay, TOKEN_SERVER_DONE));
+    }
+
+    /// Terminate the transport channel for `k`. `graceful` distinguishes
+    /// auction wins (the client learns the outcome from the later
+    /// `Response`) from drops.
+    fn cleanup_channel(&mut self, ctx: &mut Ctx, k: RequestKey, graceful: bool) {
+        let _ = graceful;
+        if let Some(ch) = self.channels.remove(&k) {
+            ctx.abort_flow(ch.flow);
+        }
+    }
+
+    /// §5 bookkeeping: count quanta consumed by the request's class.
+    fn credit_quantum_progress(&mut self, _k: RequestKey) {
+        // Quanta are accounted at completion from total work; nothing to
+        // do per-suspension. Kept as a hook for finer-grained accounting.
+    }
+
+    fn schedule_tick(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let mut out = std::mem::take(&mut self.scratch);
+        let next = self.fe.on_tick(now, &mut out);
+        let directives: Vec<Directive> = out.drain(..).collect();
+        self.scratch = out;
+        self.execute(ctx, directives);
+        if let Some(h) = self.tick_timer.take() {
+            ctx.cancel_timer(h);
+        }
+        // Fall back to a coarse housekeeping cadence when the front end
+        // has no deadline of its own.
+        let at = next.unwrap_or(now + SimDuration::from_millis(500));
+        let delay = at.saturating_since(now).max(SimDuration::from_millis(1));
+        self.tick_timer = Some(ctx.set_timer(delay, TOKEN_TICK));
+    }
+
+    fn client_of_flow(&self, ctx: &Ctx, flow: FlowId) -> Option<ClientInfo> {
+        let src = ctx.flow(flow).src;
+        self.clients_by_node.get(&src).copied()
+    }
+}
+
+impl App for ThinnerAgent {
+    fn start(&mut self, ctx: &mut Ctx) {
+        self.schedule_tick(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, flow: FlowId, tag: u64) {
+        let (kind, rid) = unpack(tag);
+        let Some(info) = self.client_of_flow(ctx, flow) else {
+            return; // message from a non-client node (e.g. Fig 9 web traffic)
+        };
+        let key = RequestKey::new(info.id, rid);
+        match kind {
+            Kind::Request => {
+                self.states.entry(key).or_insert(ReqState::Contending);
+                let fe_key = self.fe_key(key, info.spoofs);
+                self.call_fe(ctx, |fe, now, out| fe.on_request(now, fe_key, out));
+            }
+            Kind::PaymentHeader => {
+                // Final credit for a previous channel of the same request
+                // (re-POST case), then switch to the new flow.
+                self.sync_channel(ctx, key);
+                let seen = ctx.flow(flow).delivered_bytes();
+                self.channels.insert(key, Channel { flow, seen });
+            }
+            Kind::PaymentChunk => {
+                // A full POST arrived. Credit it, then tell the client to
+                // keep paying if its request is still in play.
+                self.sync_channel(ctx, key);
+                let state = self.states.get(&key).copied();
+                let keep_paying = match state {
+                    Some(ReqState::Contending) => true,
+                    // §5: the active request keeps its channel open.
+                    Some(ReqState::OnServer) => self.quantum.is_some(),
+                    None => false,
+                };
+                if keep_paying {
+                    self.tell(ctx, key.client, Kind::Continue, key, sizes::CONTROL);
+                }
+            }
+            Kind::Retry => {
+                // Retries race with admission on a separate flow: a stale
+                // retry that lands after its request was served must not
+                // resurrect it (cf. §7.3's wasted bytes — they are simply
+                // ignored).
+                if self.states.get(&key) != Some(&ReqState::Contending) {
+                    return;
+                }
+                self.metrics.payment_bytes_total += sizes::RETRY;
+                *self.paid.entry(key).or_insert(0) += sizes::RETRY;
+                let fe_key = self.existing_fe_key(key);
+                self.call_fe(ctx, |fe, now, out| {
+                    fe.on_payment(now, fe_key, sizes::RETRY, out)
+                });
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match token {
+            TOKEN_SERVER_DONE => {
+                self.server_timer = None;
+                let now = ctx.now();
+                let key = self.server.complete(now);
+                let info = self.info(key.client);
+                if info.is_bad {
+                    self.metrics.allocation.bad += 1;
+                } else {
+                    self.metrics.allocation.good += 1;
+                }
+                if let Some(q) = self.quantum {
+                    // Work consumed ≈ difficulty/c; count quanta.
+                    let quanta = ((info.difficulty / self.server.capacity()) / q.as_secs_f64())
+                        .round() as u64;
+                    let quanta = quanta.max(1);
+                    if info.is_bad {
+                        self.metrics.quanta.bad += quanta;
+                    } else {
+                        self.metrics.quanta.good += quanta;
+                    }
+                }
+                self.states.remove(&key);
+                self.paid.remove(&key);
+                // In auction mode the channel died at admission; in §5 it
+                // is still open and on_server_done will terminate it.
+                // Sync other channels so the auction sees fresh bids.
+                self.sync_all_channels(ctx);
+                let fe_key = self.existing_fe_key(key);
+                self.drop_alias(key);
+                self.call_fe(ctx, |fe, now, out| fe.on_server_done(now, fe_key, out));
+                self.tell(ctx, key.client, Kind::Response, key, sizes::RESPONSE);
+            }
+            TOKEN_TICK => {
+                self.tick_timer = None;
+                self.sync_all_channels(ctx);
+                self.schedule_tick(ctx);
+            }
+            _ => unreachable!("unknown thinner timer token"),
+        }
+    }
+
+    fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId) {
+        // A client abandoned a payment flow. Find and cancel its request's
+        // channel registration if it is still ours.
+        let key = self
+            .channels
+            .iter()
+            .find(|(_, ch)| ch.flow == flow)
+            .map(|(k, _)| *k);
+        if let Some(k) = key {
+            self.channels.remove(&k);
+            let fe_key = self.existing_fe_key(k);
+            self.call_fe(ctx, |fe, now, out| fe.on_cancel(now, fe_key, out));
+        }
+    }
+}

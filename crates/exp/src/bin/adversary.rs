@@ -1,0 +1,53 @@
+//! §3.4 / Theorem 3.1: how badly can the auction be gamed?
+//!
+//! Plays the regular-interval auction game against four adversarial
+//! spending schedules and compares the ε-bidder's win fraction to the
+//! theorem's `ε/(2−ε) ≥ ε/2` floor. Also validates the §3.2/§3.3 retry
+//! variant empirically via the simulator in `fig3`-style runs (see the
+//! `retry_ablation` binary).
+
+use speakup_core::analysis::{play_auction_game, theorem_bound, AdversaryStrategy, GameOutcome};
+use speakup_exp::report::{frac, table};
+
+fn main() {
+    let rounds = 500_000;
+    let strategies: [(&str, AdversaryStrategy); 4] = [
+        ("uniform", AdversaryStrategy::Uniform),
+        ("just-enough", AdversaryStrategy::JustEnough),
+        ("bursty(10)", AdversaryStrategy::Bursty { period: 10 }),
+        ("random", AdversaryStrategy::Random { seed: 7 }),
+    ];
+    let epsilons = [0.05, 0.1, 0.2, 0.3, 0.5];
+
+    let mut rows = Vec::new();
+    for &eps in &epsilons {
+        let mut row = vec![format!("{eps:.2}"), frac(theorem_bound(eps))];
+        for (_, strat) in &strategies {
+            let o: GameOutcome = play_auction_game(eps, rounds, strat);
+            row.push(frac(o.x_fraction));
+        }
+        rows.push(row);
+    }
+    println!("\nTheorem 3.1: win fraction of a continuous eps-bidder vs adversarial schedules");
+    println!("({rounds} auctions per cell; floor = eps/(2-eps) >= eps/2)");
+    println!(
+        "{}",
+        table(
+            &[
+                "eps",
+                "floor",
+                "uniform",
+                "just-enough",
+                "bursty(10)",
+                "random"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "expected: every column is at or above the floor; 'just-enough' (the\n\
+         proof's pessimal, implausibly informed adversary) pins the bidder\n\
+         closest to it, while naive schedules leave the bidder near its full\n\
+         proportional share eps."
+    );
+}

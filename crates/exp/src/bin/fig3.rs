@@ -1,0 +1,89 @@
+//! Figures 3, 4 and 5 (§7.2–§7.3): provisioning regimes.
+//!
+//! One population (25 good + 25 bad, G = B = 50 Mbit/s), three capacities
+//! `c` ∈ {50, 100, 200} around `c_id` = 100, speak-up ON and OFF.
+//! Prints:
+//!   * Fig 3 — allocation to good/bad and fraction of good demand served;
+//!   * Fig 4 — mean and 90th-percentile time spent uploading dummy bytes;
+//!   * Fig 5 — average price (payment per served request) vs the
+//!     `(G+B)/c` upper bound.
+
+use speakup_exp::cli::Options;
+use speakup_exp::report::{frac, kbytes, secs, table};
+use speakup_exp::runner::run_all;
+use speakup_exp::scenario::Mode;
+use speakup_exp::scenarios::fig3;
+
+fn main() {
+    let opt = Options::from_args(600);
+    let cs = [50.0, 100.0, 200.0];
+    let mut scens = Vec::new();
+    for &c in &cs {
+        for mode in [Mode::Off, Mode::Auction] {
+            scens.push(fig3(c, mode).duration(opt.duration).seed(opt.seed));
+        }
+    }
+    eprintln!(
+        "fig3/4/5: {} runs x {}s simulated ...",
+        scens.len(),
+        opt.duration.as_secs_f64()
+    );
+    let reports = run_all(&scens);
+
+    // ---------- Figure 3 ----------
+    let mut rows = Vec::new();
+    for (i, &c) in cs.iter().enumerate() {
+        let off = &reports[2 * i];
+        let on = &reports[2 * i + 1];
+        for (label, r) in [("OFF", off), ("ON", on)] {
+            rows.push(vec![
+                format!("{c:.0},{label}"),
+                frac(r.good_fraction()),
+                frac(1.0 - r.good_fraction()),
+                frac(r.good_served_fraction()),
+            ]);
+        }
+    }
+    println!("\nFigure 3: allocation and good service by capacity (G=B=50 Mbit/s, c_id=100)");
+    println!(
+        "{}",
+        table(&["c,mode", "alloc good", "alloc bad", "good served"], &rows)
+    );
+
+    // ---------- Figure 4 ----------
+    let mut rows = Vec::new();
+    for (i, &c) in cs.iter().enumerate() {
+        let on = &reports[2 * i + 1];
+        let mut t = on.good.payment_time.clone();
+        rows.push(vec![
+            format!("{c:.0}"),
+            secs(t.mean()),
+            secs(t.percentile(90.0)),
+        ]);
+    }
+    println!("\nFigure 4: time uploading dummy bytes, served good requests (speak-up ON)");
+    println!("{}", table(&["c", "mean", "90th pct"], &rows));
+
+    // ---------- Figure 5 ----------
+    let mut rows = Vec::new();
+    for (i, &c) in cs.iter().enumerate() {
+        let on = &reports[2 * i + 1];
+        let ub = scens[2 * i + 1].price_upper_bound();
+        rows.push(vec![
+            format!("{c:.0}"),
+            kbytes(ub),
+            kbytes(on.price_good.mean()),
+            kbytes(on.price_bad.mean()),
+        ]);
+    }
+    println!("\nFigure 5: average price (payment bytes per served request, speak-up ON)");
+    println!(
+        "{}",
+        table(&["c", "upper bound (G+B)/c", "good", "bad"], &rows)
+    );
+    println!(
+        "paper shape: overloaded (c=50,100) prices approach but stay below the\n\
+         bound (clients cannot use every last bit of bandwidth); at c=200 the\n\
+         server is lightly loaded relative to demand and prices collapse."
+    );
+}

@@ -1,0 +1,55 @@
+//! Tiny argument parsing shared by the `fig*` binaries: `--secs N`,
+//! `--seed N`, with the paper's defaults.
+
+use speakup_net::time::SimDuration;
+
+/// Common experiment options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Simulated duration (paper: 600 s).
+    pub duration: SimDuration,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Options {
+    /// Parse `--secs N` and `--seed N` from `std::env::args`, with the
+    /// given default duration.
+    pub fn from_args(default_secs: u64) -> Options {
+        let args: Vec<String> = std::env::args().collect();
+        let mut duration = SimDuration::from_secs(default_secs);
+        let mut seed = 0x5ea4;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--secs" => {
+                    let v = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| usage());
+                    duration = SimDuration::from_secs(v);
+                    i += 2;
+                }
+                "--seed" => {
+                    let v = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| usage());
+                    seed = v;
+                    i += 2;
+                }
+                "--help" | "-h" => usage(),
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    usage()
+                }
+            }
+        }
+        Options { duration, seed }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: <bin> [--secs N] [--seed N]");
+    std::process::exit(2)
+}

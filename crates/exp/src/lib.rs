@@ -1,0 +1,28 @@
+//! # speakup-exp — the evaluation harness (§7)
+//!
+//! Reconstructs every experiment of the paper's evaluation on top of
+//! `speakup-net` (the Emulab stand-in) and `speakup-core` (the system):
+//!
+//! * [`scenario`] — declarative run descriptions (clients, links, mode);
+//! * [`agents`] — the thinner, client, and web-bystander applications;
+//! * [`runner`] — build, run, and measure one scenario;
+//! * [`scenarios`] — ready-made builders for Figures 2–9 and §7.4;
+//! * [`report`] — text tables and ideal-line computations.
+//!
+//! Each paper figure has a binary (`fig2` … `fig9`, `min_capacity`) that
+//! prints the regenerated series; Criterion benches in `speakup-bench`
+//! run reduced versions of the same scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod cli;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod scenarios;
+pub mod tags;
+
+pub use runner::{run, run_all, RunReport};
+pub use scenario::{BottleneckSpec, ClientSpec, Mode, Scenario, WebSpec};

@@ -1,0 +1,100 @@
+//! Plain-text report formatting: aligned tables and the paper's ideal
+//! lines, so each `figN` binary prints rows directly comparable to the
+//! published plots.
+
+use crate::runner::RunReport;
+
+/// Render an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+    }
+    out
+}
+
+/// Format a fraction as `0.xxx`.
+pub fn frac(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format seconds with millisecond precision.
+pub fn secs(v: f64) -> String {
+    format!("{v:.3}s")
+}
+
+/// Format a byte count in KB with one decimal.
+pub fn kbytes(v: f64) -> String {
+    format!("{:.1}KB", v / 1000.0)
+}
+
+/// One-line summary of a run, used by `quickstart` and tests.
+pub fn summarize(r: &RunReport) -> String {
+    format!(
+        "{name}: mode={mode} good_alloc={ga:.3} good_served={gs:.3} util={u:.2} drops={d}",
+        name = r.name,
+        mode = r.mode,
+        ga = r.good_fraction(),
+        gs = r.good_served_fraction(),
+        u = r.server_utilization,
+        d = r.thinner_drops,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["f", "with", "without"],
+            &[
+                vec!["0.1".into(), "0.093".into(), "0.011".into()],
+                vec!["0.5".into(), "0.489".into(), "0.091".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("without"));
+        assert!(lines[1].starts_with('-'));
+        // All rows equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(frac(0.5), "0.500");
+        assert_eq!(secs(1.25), "1.250s");
+        assert_eq!(kbytes(125_000.0), "125.0KB");
+    }
+}

@@ -1,0 +1,238 @@
+//! Scenario descriptions: clients, links, thinner mode, duration.
+//!
+//! A [`Scenario`] is a declarative description of one experimental run,
+//! mirroring the way the paper describes its Emulab setups ("50 clients,
+//! each with 2 Mbits/s, over a LAN; c = 100 requests/s; ...").
+
+use speakup_core::client::ClientProfile;
+use speakup_net::link::LinkConfig;
+use speakup_net::time::SimDuration;
+
+/// Which thinner front end the run uses.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Mode {
+    /// No speak-up: random drops when busy (the paper's "OFF").
+    Off,
+    /// §3.3 payment channel + virtual auction (the paper's "ON").
+    Auction,
+    /// §3.2 random drops + aggressive retries (ablation).
+    Retry,
+    /// §5 per-quantum auctions for heterogeneous requests.
+    Quantum {
+        /// Quantum length τ.
+        quantum: SimDuration,
+    },
+    /// §8.1 comparator: detect-and-block via per-identity rate limiting.
+    Profile {
+        /// Allowed sustained request rate per client identity, req/s.
+        allowed_rate: f64,
+    },
+}
+
+/// One client's placement and behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientSpec {
+    /// Behaviour profile (λ, w, payment sizes, class).
+    pub profile: ClientProfile,
+    /// Access link rate, bits/s (paper default: 2 Mbit/s).
+    pub access_bps: u64,
+    /// Access link one-way delay (so client RTT ≈ 2 × this).
+    pub access_delay: SimDuration,
+    /// Whether the client sits behind the shared bottleneck (Fig 8).
+    pub behind_bottleneck: bool,
+    /// Random packet-loss probability injected on the client's uplink
+    /// (smoltcp-style fault injection). Exercises the transport's
+    /// retransmission machinery under speak-up load.
+    pub access_loss: f64,
+}
+
+impl ClientSpec {
+    /// The paper's standard client: 2 Mbit/s access, ~1 ms RTT LAN.
+    pub fn lan(profile: ClientProfile) -> Self {
+        ClientSpec {
+            profile,
+            access_bps: 2_000_000,
+            access_delay: SimDuration::from_micros(500),
+            behind_bottleneck: false,
+            access_loss: 0.0,
+        }
+    }
+
+    /// Override the access bandwidth.
+    pub fn bandwidth(mut self, bps: u64) -> Self {
+        self.access_bps = bps;
+        self
+    }
+
+    /// Override the one-way access delay.
+    pub fn delay(mut self, d: SimDuration) -> Self {
+        self.access_delay = d;
+        self
+    }
+
+    /// Place behind the shared bottleneck.
+    pub fn bottlenecked(mut self) -> Self {
+        self.behind_bottleneck = true;
+        self
+    }
+
+    /// Inject random loss on the uplink.
+    pub fn lossy(mut self, p: f64) -> Self {
+        self.access_loss = p;
+        self
+    }
+}
+
+/// The shared bottleneck link `l` of §7.6 / `m` of §7.7.
+#[derive(Clone, Copy, Debug)]
+pub struct BottleneckSpec {
+    /// Rate in bits/s.
+    pub rate_bps: u64,
+    /// One-way delay.
+    pub delay: SimDuration,
+    /// Queue size in 1500-byte packets.
+    pub queue_packets: u64,
+}
+
+/// Fig 9 cross-traffic: a wget-style downloader sharing the bottleneck.
+#[derive(Clone, Copy, Debug)]
+pub struct WebSpec {
+    /// Size of the downloaded file, bytes.
+    pub file_bytes: u64,
+    /// Number of sequential downloads.
+    pub downloads: u64,
+}
+
+/// A complete experiment description.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Label used in reports.
+    pub name: String,
+    /// RNG seed; same seed ⇒ same packet trace.
+    pub seed: u64,
+    /// Simulated run length (paper: 600 s).
+    pub duration: SimDuration,
+    /// Server capacity `c`, requests/s.
+    pub capacity: f64,
+    /// Thinner mode.
+    pub mode: Mode,
+    /// The clients.
+    pub clients: Vec<ClientSpec>,
+    /// Optional shared bottleneck for `bottlenecked()` clients.
+    pub bottleneck: Option<BottleneckSpec>,
+    /// Optional Fig 9 web cross-traffic (placed behind the bottleneck).
+    pub web: Option<WebSpec>,
+    /// Aggregation-to-thinner link (default: 1 Gbit/s, 100 µs). The paper
+    /// runs clients on a "100 Mbit/s LAN" that its own traffic exactly
+    /// saturates; we provision the aggregation link out of the way so the
+    /// *access links* are the binding constraint, which is the regime the
+    /// paper analyzes.
+    pub hub_link: LinkConfig,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults: 600 s, LAN topology.
+    pub fn new(name: impl Into<String>, capacity: f64, mode: Mode) -> Self {
+        Scenario {
+            name: name.into(),
+            seed: 0x5ea4,
+            duration: SimDuration::from_secs(600),
+            capacity,
+            mode,
+            clients: Vec::new(),
+            bottleneck: None,
+            web: None,
+            hub_link: LinkConfig::new(1_000_000_000, SimDuration::from_micros(100)),
+        }
+    }
+
+    /// Add `n` identical clients.
+    pub fn add_clients(&mut self, n: usize, spec: ClientSpec) -> &mut Self {
+        self.clients.extend(std::iter::repeat_n(spec, n));
+        self
+    }
+
+    /// Set the run length.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Set the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Aggregate good-client bandwidth `G`, bits/s (access-link sum).
+    pub fn good_bandwidth_bps(&self) -> u64 {
+        self.clients
+            .iter()
+            .filter(|c| !c.profile.is_bad)
+            .map(|c| c.access_bps)
+            .sum()
+    }
+
+    /// Aggregate bad-client bandwidth `B`, bits/s.
+    pub fn bad_bandwidth_bps(&self) -> u64 {
+        self.clients
+            .iter()
+            .filter(|c| c.profile.is_bad)
+            .map(|c| c.access_bps)
+            .sum()
+    }
+
+    /// `G/(G+B)`: the bandwidth-proportional ideal share for good clients.
+    pub fn ideal_good_share(&self) -> f64 {
+        let g = self.good_bandwidth_bps() as f64;
+        let b = self.bad_bandwidth_bps() as f64;
+        if g + b == 0.0 {
+            return 0.0;
+        }
+        g / (g + b)
+    }
+
+    /// Aggregate good demand `g` in requests/s (sum of λ).
+    pub fn good_demand(&self) -> f64 {
+        self.clients
+            .iter()
+            .filter(|c| !c.profile.is_bad)
+            .map(|c| c.profile.lambda)
+            .sum()
+    }
+
+    /// The §3.3 average-price upper bound `(G+B)/c` in bytes/request.
+    pub fn price_upper_bound(&self) -> f64 {
+        let total_bps = (self.good_bandwidth_bps() + self.bad_bandwidth_bps()) as f64;
+        total_bps / 8.0 / self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_accounting() {
+        let mut s = Scenario::new("t", 100.0, Mode::Auction);
+        s.add_clients(25, ClientSpec::lan(ClientProfile::good()));
+        s.add_clients(25, ClientSpec::lan(ClientProfile::bad()));
+        assert_eq!(s.good_bandwidth_bps(), 50_000_000);
+        assert_eq!(s.bad_bandwidth_bps(), 50_000_000);
+        assert!((s.ideal_good_share() - 0.5).abs() < 1e-12);
+        assert_eq!(s.good_demand(), 50.0);
+        // (G+B)/c = 100 Mbit/s / 8 / 100 = 125 000 bytes/request.
+        assert!((s.price_upper_bound() - 125_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spec_builders() {
+        let spec = ClientSpec::lan(ClientProfile::good())
+            .bandwidth(500_000)
+            .delay(SimDuration::from_millis(50))
+            .bottlenecked();
+        assert_eq!(spec.access_bps, 500_000);
+        assert_eq!(spec.access_delay, SimDuration::from_millis(50));
+        assert!(spec.behind_bottleneck);
+    }
+}

@@ -1,0 +1,266 @@
+//! Ready-made scenario builders, one per paper experiment.
+//!
+//! Every builder uses the paper's parameters by default (600 s runs, 2
+//! Mbit/s access links, λ/w client profiles). Binaries run them at full
+//! length; benches shorten them with [`crate::scenario::Scenario::duration`].
+
+use crate::scenario::{BottleneckSpec, ClientSpec, Mode, Scenario, WebSpec};
+use speakup_core::client::ClientProfile;
+use speakup_net::time::SimDuration;
+
+/// §7.2, Figure 2: 50 clients × 2 Mbit/s over a LAN, `c` = 100 req/s,
+/// a fraction `f` of the clients good. Run with [`Mode::Auction`] ("ON")
+/// and [`Mode::Off`] ("OFF") to regenerate both curves.
+pub fn fig2(f_good: f64, mode: Mode) -> Scenario {
+    assert!((0.0..=1.0).contains(&f_good));
+    let n_good = (50.0 * f_good).round() as usize;
+    let n_bad = 50 - n_good;
+    let mut s = Scenario::new(format!("fig2 f={f_good:.1} {mode:?}"), 100.0, mode);
+    s.add_clients(n_good, ClientSpec::lan(good_for(mode)));
+    s.add_clients(n_bad, ClientSpec::lan(bad_for(mode)));
+    s
+}
+
+/// §7.2, Figure 3 (and the latency/price measurements of Figures 4–5):
+/// 25 good + 25 bad clients (G = B = 50 Mbit/s), server capacity `c` ∈
+/// {50, 100, 200}. `c_id` = 100.
+pub fn fig3(capacity: f64, mode: Mode) -> Scenario {
+    let mut s = Scenario::new(format!("fig3 c={capacity} {mode:?}"), capacity, mode);
+    s.add_clients(25, ClientSpec::lan(good_for(mode)));
+    s.add_clients(25, ClientSpec::lan(bad_for(mode)));
+    s
+}
+
+/// §7.4: same population as Figure 3; sweep `c` to find the smallest
+/// capacity at which the good demand is (nearly) fully served. The paper
+/// finds 115 — 15% above the bandwidth-proportional ideal `c_id` = 100.
+pub fn min_capacity_sweep(mode: Mode, capacities: &[f64]) -> Vec<Scenario> {
+    capacities.iter().map(|&c| fig3(c, mode)).collect()
+}
+
+/// §7.5, Figure 6: 50 good clients in five bandwidth categories
+/// (category `i` ∈ 1..=5 has 10 clients at `0.5·i` Mbit/s), `c` = 10.
+pub fn fig6() -> Scenario {
+    let mut s = Scenario::new("fig6 heterogeneous bandwidth", 10.0, Mode::Auction);
+    for i in 1..=5u64 {
+        s.add_clients(
+            10,
+            ClientSpec::lan(ClientProfile::good()).bandwidth(500_000 * i),
+        );
+    }
+    s
+}
+
+/// §7.5, Figure 7: 50 clients in five RTT categories (category `i` has
+/// RTT `100·i` ms), all good or all bad, 2 Mbit/s each, `c` = 10.
+pub fn fig7(all_bad: bool) -> Scenario {
+    let name = if all_bad {
+        "fig7 all-bad"
+    } else {
+        "fig7 all-good"
+    };
+    let mut s = Scenario::new(name, 10.0, Mode::Auction);
+    for i in 1..=5u64 {
+        let profile = if all_bad {
+            ClientProfile::bad()
+        } else {
+            ClientProfile::good()
+        };
+        // One-way access delay = RTT/2.
+        s.add_clients(
+            10,
+            ClientSpec::lan(profile).delay(SimDuration::from_millis(50 * i)),
+        );
+    }
+    s
+}
+
+/// §7.6, Figure 8: `n_good_behind` good and `30 − n_good_behind` bad
+/// clients share a 40 Mbit/s bottleneck; 10 good and 10 bad clients
+/// connect directly; `c` = 50. The paper uses 5/25, 15/15, 25/5.
+pub fn fig8(n_good_behind: usize) -> Scenario {
+    assert!(n_good_behind <= 30);
+    let mut s = Scenario::new(
+        format!("fig8 {n_good_behind} good behind bottleneck"),
+        50.0,
+        Mode::Auction,
+    );
+    s.bottleneck = Some(BottleneckSpec {
+        rate_bps: 40_000_000,
+        delay: SimDuration::from_micros(500),
+        queue_packets: 100,
+    });
+    s.add_clients(
+        n_good_behind,
+        ClientSpec::lan(ClientProfile::good()).bottlenecked(),
+    );
+    s.add_clients(
+        30 - n_good_behind,
+        ClientSpec::lan(ClientProfile::bad()).bottlenecked(),
+    );
+    s.add_clients(10, ClientSpec::lan(ClientProfile::good()));
+    s.add_clients(10, ClientSpec::lan(ClientProfile::bad()));
+    s
+}
+
+/// §7.7, Figure 9: 10 good speak-up clients and an HTTP downloader share
+/// a 1 Mbit/s, 100 ms one-way bottleneck; the thinner fronts a `c` = 2
+/// server; a separate web server serves `file_bytes` downloads.
+/// `speakup_on` toggles the payment traffic (the paper's with/without).
+pub fn fig9(file_bytes: u64, speakup_on: bool) -> Scenario {
+    let mode = if speakup_on { Mode::Auction } else { Mode::Off };
+    let mut s = Scenario::new(
+        format!("fig9 {file_bytes}B speakup={}", speakup_on),
+        2.0,
+        mode,
+    );
+    s.bottleneck = Some(BottleneckSpec {
+        rate_bps: 1_000_000,
+        delay: SimDuration::from_millis(100),
+        // A deep (bufferbloat-era) FIFO: at 1 Mbit/s, a full queue adds
+        // ~1.8 s of delay, which is what turns payment traffic into the
+        // paper's ~5x latency inflation for bystander downloads.
+        queue_packets: 150,
+    });
+    s.add_clients(10, ClientSpec::lan(ClientProfile::good()).bottlenecked());
+    s.web = Some(WebSpec {
+        file_bytes,
+        downloads: 100,
+    });
+    s
+}
+
+/// §5 extension: heterogeneous requests. Good clients send difficulty-1
+/// requests; bad clients send difficulty-`hard` requests. Compare
+/// [`Mode::Auction`] (which charges every request the same emergent
+/// price, so attackers get `hard×` the work per byte) against
+/// [`Mode::Quantum`] (per-quantum auctions restore byte-proportionality).
+pub fn heterogeneous_requests(mode: Mode, hard: f64) -> Scenario {
+    let mut s = Scenario::new(format!("hetero hard={hard} {mode:?}"), 20.0, mode);
+    s.add_clients(10, ClientSpec::lan(ClientProfile::good()));
+    s.add_clients(10, ClientSpec::lan(ClientProfile::bad().difficulty(hard)));
+    s
+}
+
+/// §8.1 comparison: profiling (per-identity rate limiting) vs speak-up,
+/// with and without spoofing attackers. Profiling crushes naive bots but
+/// collapses against per-request fresh identities; the bandwidth tax is
+/// indifferent to identity ("taxing clients is easier than identifying
+/// them", §3.2).
+pub fn profiling_comparison(mode: Mode, spoof: bool) -> Scenario {
+    let mut s = Scenario::new(format!("profiling {mode:?} spoof={spoof}"), 20.0, mode);
+    s.add_clients(5, ClientSpec::lan(ClientProfile::good()));
+    let bad = if spoof {
+        ClientProfile::bad().spoofing()
+    } else {
+        ClientProfile::bad()
+    };
+    s.add_clients(5, ClientSpec::lan(bad));
+    s
+}
+
+/// §9 "flash crowds": all clients good, demand far above capacity.
+pub fn flash_crowd(mode: Mode) -> Scenario {
+    let mut s = Scenario::new(format!("flash crowd {mode:?}"), 20.0, mode);
+    s.add_clients(50, ClientSpec::lan(ClientProfile::good()));
+    s
+}
+
+fn good_for(mode: Mode) -> ClientProfile {
+    let p = ClientProfile::good();
+    match mode {
+        // Baseline drops are reported to the client (a 503, in HTTP
+        // terms); under encouragement the client pays until it wins or
+        // the thinner drops it, so no local give-up is needed.
+        Mode::Off => p,
+        _ => p,
+    }
+}
+
+fn bad_for(mode: Mode) -> ClientProfile {
+    let p = ClientProfile::bad();
+    match mode {
+        Mode::Off => p,
+        _ => p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_population_split() {
+        let s = fig2(0.3, Mode::Auction);
+        let good = s.clients.iter().filter(|c| !c.profile.is_bad).count();
+        let bad = s.clients.iter().filter(|c| c.profile.is_bad).count();
+        assert_eq!((good, bad), (15, 35));
+        assert!((s.ideal_good_share() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig3_is_half_and_half() {
+        let s = fig3(100.0, Mode::Off);
+        assert_eq!(s.clients.len(), 50);
+        assert!((s.ideal_good_share() - 0.5).abs() < 1e-12);
+        assert_eq!(s.good_demand(), 50.0);
+    }
+
+    #[test]
+    fn fig6_bandwidth_ladder() {
+        let s = fig6();
+        assert_eq!(s.clients.len(), 50);
+        assert_eq!(s.clients[0].access_bps, 500_000);
+        assert_eq!(s.clients[49].access_bps, 2_500_000);
+        assert_eq!(s.bad_bandwidth_bps(), 0);
+    }
+
+    #[test]
+    fn fig7_rtt_ladder() {
+        let s = fig7(false);
+        assert_eq!(s.clients[0].access_delay, SimDuration::from_millis(50));
+        assert_eq!(s.clients[49].access_delay, SimDuration::from_millis(250));
+        let b = fig7(true);
+        assert!(b.clients.iter().all(|c| c.profile.is_bad));
+    }
+
+    #[test]
+    fn fig8_placement() {
+        let s = fig8(5);
+        let behind = s.clients.iter().filter(|c| c.behind_bottleneck).count();
+        assert_eq!(behind, 30);
+        assert!(s.bottleneck.is_some());
+        let good_behind = s
+            .clients
+            .iter()
+            .filter(|c| c.behind_bottleneck && !c.profile.is_bad)
+            .count();
+        assert_eq!(good_behind, 5);
+    }
+
+    #[test]
+    fn fig9_has_web_traffic() {
+        let s = fig9(65536, true);
+        assert!(s.web.is_some());
+        assert_eq!(s.capacity, 2.0);
+        assert!(matches!(s.mode, Mode::Auction));
+        let off = fig9(1024, false);
+        assert!(matches!(off.mode, Mode::Off));
+    }
+
+    #[test]
+    fn hetero_difficulty_applied() {
+        let s = heterogeneous_requests(
+            Mode::Quantum {
+                quantum: SimDuration::from_millis(100),
+            },
+            5.0,
+        );
+        let hard = s
+            .clients
+            .iter()
+            .filter(|c| c.profile.is_bad)
+            .all(|c| c.profile.difficulty == 5.0);
+        assert!(hard);
+    }
+}

@@ -1,0 +1,135 @@
+//! Message tags: typed speak-up messages packed into the simulator's
+//! per-message `u64` tag.
+//!
+//! The simulator delivers `(flow, tag)` pairs; we pack the message kind in
+//! the top byte and the request id in the low 56 bits. The sender's
+//! identity comes from the flow's source node, exactly as a real thinner
+//! derives it from the connection — and consistent with the paper's
+//! threat model, nothing here is trusted for fairness, only used for
+//! correlation and measurement.
+
+use speakup_core::types::RequestId;
+
+/// The kind of a message, client ↔ thinner.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// Client → thinner: the actual request (§6's request (1)).
+    Request,
+    /// Client → thinner: first message on a payment flow, correlating the
+    /// channel with a request id (the `id` field of §6).
+    PaymentHeader,
+    /// Client → thinner: one dummy-byte POST chunk (§6's request (2)).
+    PaymentChunk,
+    /// Client → thinner: one §3.2 retry.
+    Retry,
+    /// Thinner → client: open a payment channel and start paying.
+    Encourage,
+    /// Thinner → client: your POST finished but you have not won; POST
+    /// again (the re-issued JavaScript of §6).
+    Continue,
+    /// Thinner → client: your request was served; body is the response.
+    Response,
+    /// Thinner → client: your request was dropped (channel timeout, §5
+    /// abort, or an explicit baseline drop).
+    Dropped,
+    /// Client → web server (Fig 9): fetch a file.
+    FileRequest,
+    /// Web server → client (Fig 9): the file.
+    FileResponse,
+}
+
+impl Kind {
+    fn code(self) -> u8 {
+        match self {
+            Kind::Request => 1,
+            Kind::PaymentHeader => 2,
+            Kind::PaymentChunk => 3,
+            Kind::Retry => 4,
+            Kind::Encourage => 5,
+            Kind::Continue => 6,
+            Kind::Response => 7,
+            Kind::Dropped => 8,
+            Kind::FileRequest => 9,
+            Kind::FileResponse => 10,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Kind> {
+        Some(match code {
+            1 => Kind::Request,
+            2 => Kind::PaymentHeader,
+            3 => Kind::PaymentChunk,
+            4 => Kind::Retry,
+            5 => Kind::Encourage,
+            6 => Kind::Continue,
+            7 => Kind::Response,
+            8 => Kind::Dropped,
+            9 => Kind::FileRequest,
+            10 => Kind::FileResponse,
+            _ => return None,
+        })
+    }
+}
+
+const ID_MASK: u64 = (1 << 56) - 1;
+
+/// Pack a message kind and request id into a tag.
+pub fn pack(kind: Kind, id: RequestId) -> u64 {
+    debug_assert!(id.0 <= ID_MASK, "request id overflow");
+    ((kind.code() as u64) << 56) | (id.0 & ID_MASK)
+}
+
+/// Unpack a tag. Panics on garbage — tags only come from [`pack`].
+pub fn unpack(tag: u64) -> (Kind, RequestId) {
+    let kind = Kind::from_code((tag >> 56) as u8).expect("corrupt message tag");
+    (kind, RequestId(tag & ID_MASK))
+}
+
+/// Wire sizes of the protocol's small messages, matching the §6 HTTP
+/// exchange: a service GET, the POST head, control responses.
+pub mod sizes {
+    /// The actual request: a small GET.
+    pub const REQUEST: u64 = 400;
+    /// Payment-channel registration (POST request line + headers).
+    pub const PAYMENT_HEADER: u64 = 200;
+    /// One §3.2 retry message.
+    pub const RETRY: u64 = 400;
+    /// Encourage / continue / dropped control responses.
+    pub const CONTROL: u64 = 300;
+    /// A served response (the emulated server's output HTML).
+    pub const RESPONSE: u64 = 1_000;
+    /// Fig 9 file request.
+    pub const FILE_REQUEST: u64 = 300;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [
+            Kind::Request,
+            Kind::PaymentHeader,
+            Kind::PaymentChunk,
+            Kind::Retry,
+            Kind::Encourage,
+            Kind::Continue,
+            Kind::Response,
+            Kind::Dropped,
+            Kind::FileRequest,
+            Kind::FileResponse,
+        ] {
+            for id in [0u64, 1, 12345, ID_MASK] {
+                let tag = pack(kind, RequestId(id));
+                assert_eq!(unpack(tag), (kind, RequestId(id)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt message tag")]
+    fn garbage_tag_panics() {
+        unpack(0xFF << 56);
+    }
+}

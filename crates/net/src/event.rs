@@ -1,0 +1,203 @@
+//! The simulator's event queue.
+//!
+//! A binary heap keyed on `(time, sequence)`. The sequence number breaks
+//! ties in insertion order, which makes runs deterministic: two events
+//! scheduled for the same instant always fire in the order they were
+//! scheduled, regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    cancelled_check: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedule `event` to fire at `time`. Returns a handle that can cancel it.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            cancelled_check: seq,
+            event,
+        });
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that already
+    /// fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Pop the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.cancelled_check) {
+                continue;
+            }
+            return Some((s.time, s.event));
+        }
+        None
+    }
+
+    /// The time of the earliest pending event, skipping cancelled ones.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(s) = self.heap.peek() {
+            if self.cancelled.contains(&s.cancelled_check) {
+                let s = self.heap.pop().expect("peeked");
+                self.cancelled.remove(&s.cancelled_check);
+                continue;
+            }
+            return Some(s.time);
+        }
+        None
+    }
+
+    /// Whether nothing would fire.
+    pub fn is_empty(&self) -> bool {
+        // Cancelled-but-unpopped events may remain; treat the queue as empty
+        // only when genuinely nothing would fire.
+        self.heap.len() == self.cancelled.len()
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        q.cancel(h1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.cancel(h);
+        q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(5), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn len_accounts_for_cancelled() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::ZERO, 1);
+        let _h2 = q.push(SimTime::ZERO + SimDuration::from_secs(1), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(h1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_when_all_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::ZERO, ());
+        q.cancel(h);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! # speakup-net — deterministic packet-level network simulator
+//!
+//! The substrate for the speak-up reproduction (Walfish et al.,
+//! *DDoS Defense by Offense*, SIGCOMM 2006). The paper evaluated on the
+//! Emulab testbed; this crate stands in for it with a discrete-event,
+//! packet-level simulator providing the behaviours the evaluation depends
+//! on:
+//!
+//! * **Links** with transmission rate, propagation delay, bounded drop-tail
+//!   queues, and optional fault injection ([`link`]).
+//! * **Topologies** with static shortest-path routing — client access
+//!   links, shared bottlenecks, LAN aggregation ([`topology`]).
+//! * **A Reno-style congestion-controlled transport** with slow start,
+//!   AIMD, fast retransmit/recovery and RFC 6298 timers ([`tcp`]) —
+//!   payment channels in speak-up are congestion-controlled streams, and
+//!   several of the paper's findings (RTT sensitivity, slow-start cost per
+//!   POST, bottleneck crowd-out) are transport effects.
+//! * **A deterministic event loop** with per-node applications ([`sim`]):
+//!   same seed, same trace, on any platform.
+//!
+//! ## Example
+//!
+//! ```
+//! use speakup_net::link::LinkConfig;
+//! use speakup_net::packet::{FlowId, NodeId};
+//! use speakup_net::sim::{App, Ctx, Simulator};
+//! use speakup_net::time::{SimDuration, SimTime};
+//! use speakup_net::topology::TopologyBuilder;
+//!
+//! struct Pinger { dst: NodeId }
+//! impl App for Pinger {
+//!     fn start(&mut self, ctx: &mut Ctx) {
+//!         let f = ctx.open_default_flow(self.dst);
+//!         ctx.send(f, 1000, 0xbeef);
+//!     }
+//! }
+//! #[derive(Default)]
+//! struct Sink { got: Vec<u64> }
+//! impl App for Sink {
+//!     fn on_message(&mut self, _ctx: &mut Ctx, _flow: FlowId, tag: u64) {
+//!         self.got.push(tag);
+//!     }
+//! }
+//!
+//! let mut b = TopologyBuilder::new();
+//! let a = b.node();
+//! let z = b.node();
+//! b.duplex(a, z, LinkConfig::new(2_000_000, SimDuration::from_millis(10)));
+//! let mut sim = Simulator::new(b.build(), 42);
+//! sim.add_app(a, Box::new(Pinger { dst: z }));
+//! sim.add_app(z, Box::new(Sink::default()));
+//! sim.run_until(SimTime::from_secs(1));
+//! assert_eq!(sim.app::<Sink>(z).unwrap().got, vec![0xbeef]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod link;
+pub mod packet;
+pub mod rng;
+pub mod sim;
+pub mod tcp;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use packet::{FlowId, LinkId, NodeId};
+pub use sim::{App, Ctx, Simulator};
+pub use time::{SimDuration, SimTime};

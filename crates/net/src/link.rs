@@ -1,0 +1,286 @@
+//! Links: rate-limited, delayed, drop-tail-queued pipes between nodes.
+//!
+//! A link is unidirectional. When a packet is offered to a busy link it
+//! joins a FIFO queue bounded in bytes; overflow is dropped at the tail,
+//! which is how congestion manifests and what drives the transport's
+//! congestion control. Links also support probabilistic fault injection
+//! (random drop), in the style of smoltcp's example fault injectors.
+
+use crate::packet::{NodeId, Packet};
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Static configuration of a link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Transmission rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Queue capacity in bytes (drop-tail). The packet currently being
+    /// transmitted does not count against the queue.
+    pub queue_bytes: u64,
+    /// Probability that an enqueued packet is randomly dropped (fault
+    /// injection). Zero for a healthy link.
+    pub drop_prob: f64,
+}
+
+impl LinkConfig {
+    /// A link with the given rate (bits/s) and one-way delay, a 100-packet
+    /// (150 kB) queue, and no fault injection.
+    pub fn new(rate_bps: u64, delay: SimDuration) -> Self {
+        LinkConfig {
+            rate_bps,
+            delay,
+            queue_bytes: 100 * 1500,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Override the queue capacity, expressed in 1500-byte packets.
+    pub fn queue_packets(mut self, packets: u64) -> Self {
+        self.queue_bytes = packets * 1500;
+        self
+    }
+
+    /// Enable random-drop fault injection with the given probability.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+}
+
+/// Counters describing everything a link has done.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Packets fully transmitted.
+    pub tx_packets: u64,
+    /// Bytes fully transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped because the queue was full.
+    pub drops_overflow: u64,
+    /// Packets dropped by fault injection.
+    pub drops_fault: u64,
+    /// High-water mark of queued bytes.
+    pub max_queued_bytes: u64,
+}
+
+/// Runtime state of a link.
+#[derive(Debug)]
+pub struct Link {
+    /// Static configuration.
+    pub cfg: LinkConfig,
+    /// Node the link delivers packets to.
+    pub dst: NodeId,
+    queue: VecDeque<Packet>,
+    queued_bytes: u64,
+    /// Packet currently on the wire, if any.
+    in_flight: Option<Packet>,
+    /// Counters.
+    pub stats: LinkStats,
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Enqueue {
+    /// The link was idle; transmission starts now and completes after the
+    /// contained duration.
+    StartTx(SimDuration),
+    /// The packet joined the queue.
+    Queued,
+    /// The packet was dropped (queue overflow or fault injection).
+    Dropped,
+}
+
+impl Link {
+    /// A fresh idle link delivering to `dst`.
+    pub fn new(cfg: LinkConfig, dst: NodeId) -> Self {
+        Link {
+            cfg,
+            dst,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            in_flight: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offer a packet to the link. `fault_roll` is a uniform [0,1) sample
+    /// used for fault injection (passed in so the link itself holds no RNG).
+    pub fn enqueue(&mut self, packet: Packet, fault_roll: f64) -> Enqueue {
+        if self.cfg.drop_prob > 0.0 && fault_roll < self.cfg.drop_prob {
+            self.stats.drops_fault += 1;
+            return Enqueue::Dropped;
+        }
+        if self.in_flight.is_none() {
+            debug_assert!(self.queue.is_empty());
+            let tx = SimDuration::transmission(packet.size as u64, self.cfg.rate_bps);
+            self.in_flight = Some(packet);
+            return Enqueue::StartTx(tx);
+        }
+        if self.queued_bytes + packet.size as u64 > self.cfg.queue_bytes {
+            self.stats.drops_overflow += 1;
+            return Enqueue::Dropped;
+        }
+        self.queued_bytes += packet.size as u64;
+        self.stats.max_queued_bytes = self.stats.max_queued_bytes.max(self.queued_bytes);
+        self.queue.push_back(packet);
+        Enqueue::Queued
+    }
+
+    /// Complete the in-flight transmission. Returns the packet that just
+    /// finished (to be delivered after the propagation delay) and, if the
+    /// queue was non-empty, the next packet's transmission time.
+    pub fn tx_done(&mut self) -> (Packet, Option<SimDuration>) {
+        let done = self.in_flight.take().expect("tx_done on idle link");
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += done.size as u64;
+        let next = self.queue.pop_front().map(|p| {
+            self.queued_bytes -= p.size as u64;
+            let tx = SimDuration::transmission(p.size as u64, self.cfg.rate_bps);
+            self.in_flight = Some(p);
+            tx
+        });
+        (done, next)
+    }
+
+    /// Bytes currently waiting in the queue (excludes the in-flight packet).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Packets currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a packet is currently being transmitted.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Observed utilization over `elapsed`: transmitted bits / capacity.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 || self.cfg.rate_bps == 0 {
+            return 0.0;
+        }
+        (self.stats.tx_bytes as f64 * 8.0) / (self.cfg.rate_bps as f64 * secs)
+    }
+}
+
+/// A timestamped delivery: used by the world to hand a transmitted packet
+/// to the destination node after the propagation delay.
+#[derive(Debug, Clone, Copy)]
+pub struct Delivery {
+    /// Arrival time at the destination node.
+    pub at: SimTime,
+    /// The packet being delivered.
+    pub packet: Packet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketKind};
+
+    fn pkt(size: u32) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size,
+            kind: PacketKind::Data {
+                offset: 0,
+                len: size - 40,
+            },
+        }
+    }
+
+    #[test]
+    fn idle_link_starts_transmitting() {
+        let mut l = Link::new(
+            LinkConfig::new(8_000, SimDuration::from_millis(1)),
+            NodeId(1),
+        );
+        // 1000 bytes at 8000 bits/s = 1 s.
+        match l.enqueue(pkt(1000), 1.0) {
+            Enqueue::StartTx(d) => assert_eq!(d, SimDuration::from_secs(1)),
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+        assert!(l.is_busy());
+    }
+
+    #[test]
+    fn busy_link_queues_then_drains() {
+        let mut l = Link::new(LinkConfig::new(8_000, SimDuration::ZERO), NodeId(1));
+        assert!(matches!(l.enqueue(pkt(1000), 1.0), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(pkt(500), 1.0), Enqueue::Queued);
+        assert_eq!(l.queued_bytes(), 500);
+        let (done, next) = l.tx_done();
+        assert_eq!(done.size, 1000);
+        assert!(next.is_some());
+        assert_eq!(l.queued_bytes(), 0);
+        let (done2, next2) = l.tx_done();
+        assert_eq!(done2.size, 500);
+        assert!(next2.is_none());
+        assert!(!l.is_busy());
+        assert_eq!(l.stats.tx_packets, 2);
+        assert_eq!(l.stats.tx_bytes, 1500);
+    }
+
+    #[test]
+    fn overflow_drops_at_tail() {
+        let cfg = LinkConfig {
+            rate_bps: 8_000,
+            delay: SimDuration::ZERO,
+            queue_bytes: 1000,
+            drop_prob: 0.0,
+        };
+        let mut l = Link::new(cfg, NodeId(1));
+        assert!(matches!(l.enqueue(pkt(1000), 1.0), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(pkt(600), 1.0), Enqueue::Queued);
+        // 600 + 600 > 1000: dropped.
+        assert_eq!(l.enqueue(pkt(600), 1.0), Enqueue::Dropped);
+        assert_eq!(l.stats.drops_overflow, 1);
+        // But a smaller packet still fits.
+        assert_eq!(l.enqueue(pkt(400), 1.0), Enqueue::Queued);
+    }
+
+    #[test]
+    fn fault_injection_drops() {
+        let cfg = LinkConfig::new(8_000, SimDuration::ZERO).drop_prob(0.5);
+        let mut l = Link::new(cfg, NodeId(1));
+        assert_eq!(l.enqueue(pkt(100), 0.4), Enqueue::Dropped);
+        assert_eq!(l.stats.drops_fault, 1);
+        assert!(matches!(l.enqueue(pkt(100), 0.6), Enqueue::StartTx(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "tx_done on idle link")]
+    fn tx_done_on_idle_panics() {
+        let mut l = Link::new(LinkConfig::new(8_000, SimDuration::ZERO), NodeId(1));
+        let _ = l.tx_done();
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut l = Link::new(LinkConfig::new(8_000, SimDuration::ZERO), NodeId(1));
+        assert!(matches!(l.enqueue(pkt(1000), 1.0), Enqueue::StartTx(_)));
+        let _ = l.tx_done();
+        // 8000 bits sent; over 2 s on an 8000 bit/s link = 0.5.
+        let u = l.utilization(SimDuration::from_secs(2));
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_queue_highwater() {
+        let mut l = Link::new(LinkConfig::new(8_000, SimDuration::ZERO), NodeId(1));
+        assert!(matches!(l.enqueue(pkt(100), 1.0), Enqueue::StartTx(_)));
+        l.enqueue(pkt(200), 1.0);
+        l.enqueue(pkt(300), 1.0);
+        assert_eq!(l.stats.max_queued_bytes, 500);
+        let _ = l.tx_done();
+        assert_eq!(l.stats.max_queued_bytes, 500);
+    }
+}

@@ -1,0 +1,107 @@
+//! Packets and identifiers.
+//!
+//! The simulator moves packets between nodes over links. Packets belong to
+//! flows (see [`crate::tcp`]); a packet is either a data segment carrying a
+//! byte range of the flow's stream, or a cumulative acknowledgment.
+
+use std::fmt;
+
+/// Identifies a node (host or switch) in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Identifies a unidirectional link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Identifies a flow (one direction of a transport connection).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// What a packet carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// A data segment: stream bytes `[offset, offset + len)`.
+    Data {
+        /// First stream byte carried.
+        offset: u64,
+        /// Payload length in bytes.
+        len: u32,
+    },
+    /// A cumulative acknowledgment: the receiver has everything below `cum`.
+    Ack {
+        /// One past the highest in-order byte received.
+        cum: u64,
+    },
+}
+
+/// A packet in flight.
+#[derive(Clone, Copy, Debug)]
+pub struct Packet {
+    /// The flow this packet belongs to.
+    pub flow: FlowId,
+    /// Origin node.
+    pub src: NodeId,
+    /// Destination node; intermediate nodes forward toward it.
+    pub dst: NodeId,
+    /// Total size on the wire in bytes, including header overhead.
+    pub size: u32,
+    /// Payload kind.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// True if the packet carries stream payload (as opposed to an ACK).
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_detection() {
+        let p = Packet {
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 1500,
+            kind: PacketKind::Data {
+                offset: 0,
+                len: 1460,
+            },
+        };
+        assert!(p.is_data());
+        let a = Packet {
+            kind: PacketKind::Ack { cum: 1460 },
+            size: 40,
+            ..p
+        };
+        assert!(!a.is_data());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(4).to_string(), "l4");
+        assert_eq!(FlowId(5).to_string(), "f5");
+    }
+}

@@ -1,0 +1,242 @@
+//! Deterministic random numbers for the simulator.
+//!
+//! The simulator must be reproducible: the same seed must produce the same
+//! packet trace on every platform. We therefore implement PCG-32
+//! (O'Neill 2014, `XSH RR 64/32`) in-tree rather than depending on an
+//! external RNG whose stream could change across versions.
+
+/// A PCG-32 generator: 64-bit state, 32-bit output, period 2^64 per stream.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Create a generator from a seed and a stream id. Different stream ids
+    /// yield statistically independent sequences for the same seed.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Create a generator from a seed on the default stream.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+
+    /// Derive an independent child generator, e.g. one per client, so that
+    /// adding clients does not perturb the streams of existing ones.
+    pub fn split(&mut self, stream: u64) -> Pcg32 {
+        Pcg32::new(self.next_u64(), stream)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform float in [0, 1).
+    pub fn f64(&mut self) -> f64 {
+        // 53 random bits scaled into [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in [0, bound) using Lemire's multiply-shift method
+    /// with rejection, unbiased.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "below(0) is meaningless");
+        let mut x = self.next_u32();
+        let mut m = x as u64 * bound as u64;
+        let mut lo = m as u32;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u32();
+                m = x as u64 * bound as u64;
+                lo = m as u32;
+            }
+        }
+        (m >> 32) as u32
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        let span = hi - lo;
+        if span == 0 {
+            return lo;
+        }
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // 64-bit Lemire with rejection.
+        let bound = span + 1;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo_part = m as u64;
+            if lo_part >= bound || lo_part >= bound.wrapping_neg() % bound {
+                return lo + (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform float in [a, b).
+    pub fn uniform(&mut self, a: f64, b: f64) -> f64 {
+        a + (b - a) * self.f64()
+    }
+
+    /// Exponentially distributed float with the given mean (i.e. rate
+    /// 1/mean). Used for Poisson inter-arrival times.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0);
+        // Inverse CDF; guard against ln(0).
+        let u = 1.0 - self.f64();
+        -mean * u.ln()
+    }
+
+    /// Bernoulli trial with probability `p` of returning true.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u32 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Pcg32::seeded(42);
+        let mut b = Pcg32::seeded(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg32::seeded(1);
+        let mut b = Pcg32::seeded(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = Pcg32::new(7, 1);
+        let mut b = Pcg32::new(7, 2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Pcg32::seeded(9);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Pcg32::seeded(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn range_u64_bounds() {
+        let mut r = Pcg32::seeded(4);
+        for _ in 0..10_000 {
+            let x = r.range_u64(10, 20);
+            assert!((10..=20).contains(&x));
+        }
+        assert_eq!(r.range_u64(5, 5), 5);
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut r = Pcg32::seeded(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exp(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_mean_converges() {
+        let mut r = Pcg32::seeded(6);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.uniform(0.9, 1.1)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Pcg32::seeded(8);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        assert!((23_000..27_000).contains(&hits));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Pcg32::seeded(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_children_differ_from_parent() {
+        let mut parent = Pcg32::seeded(13);
+        let mut c1 = parent.split(1);
+        let mut c2 = parent.split(2);
+        let same = (0..64).filter(|_| c1.next_u32() == c2.next_u32()).count();
+        assert!(same < 4);
+    }
+}

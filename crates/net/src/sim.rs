@@ -1,0 +1,767 @@
+//! The simulator: world state, event loop, and the application interface.
+//!
+//! One application ([`App`]) runs per node. Applications interact with the
+//! world exclusively through [`Ctx`]: they open flows, write messages, set
+//! timers, and abort flows. The world delivers callbacks — message arrival,
+//! timer expiry, flow drained, flow aborted by peer — in deterministic
+//! order.
+//!
+//! Determinism: the event queue breaks time ties by insertion order, the
+//! RNG is seeded PCG-32, and all state transitions are single-threaded, so
+//! a `(topology, apps, seed)` triple always produces the same trace.
+
+use crate::event::{EventHandle, EventQueue};
+use crate::link::{Enqueue, Link, LinkStats};
+use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind};
+use crate::rng::Pcg32;
+use crate::tcp::{Flow, FlowAction, FlowConfig};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Handle to a pending application timer, usable for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerHandle(EventHandle);
+
+/// A per-node application.
+///
+/// All methods have empty defaults so implementations override only what
+/// they need. `Any` is a supertrait so harnesses can downcast applications
+/// back out of the simulator to read their results.
+pub trait App: Any {
+    /// Called once when the simulation starts.
+    fn start(&mut self, ctx: &mut Ctx) {
+        let _ = ctx;
+    }
+    /// A complete message (written with [`Ctx::send`]) arrived on `flow`.
+    fn on_message(&mut self, ctx: &mut Ctx, flow: FlowId, tag: u64) {
+        let _ = (ctx, flow, tag);
+    }
+    /// A timer set with [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        let _ = (ctx, token);
+    }
+    /// Every byte written to `flow` has been acknowledged.
+    fn on_flow_drained(&mut self, ctx: &mut Ctx, flow: FlowId) {
+        let _ = (ctx, flow);
+    }
+    /// The peer aborted `flow`.
+    fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId) {
+        let _ = (ctx, flow);
+    }
+}
+
+enum Event {
+    TxDone(LinkId),
+    Arrive { node: NodeId, packet: Packet },
+    AppTimer { node: NodeId, token: u64 },
+    Rto(FlowId),
+}
+
+enum Notify {
+    Message {
+        node: NodeId,
+        flow: FlowId,
+        tag: u64,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    Drained {
+        node: NodeId,
+        flow: FlowId,
+    },
+    Aborted {
+        node: NodeId,
+        flow: FlowId,
+    },
+}
+
+/// Everything in the simulated world except the applications.
+pub struct World {
+    now: SimTime,
+    queue: EventQueue<Event>,
+    topology: Topology,
+    links: Vec<Link>,
+    flows: Vec<Flow>,
+    rto_handles: Vec<Option<EventHandle>>,
+    rng: Pcg32,
+    notifies: VecDeque<Notify>,
+    actions_scratch: Vec<FlowAction>,
+    /// Total packets dropped anywhere (overflow + fault), for quick checks.
+    pub total_drops: u64,
+}
+
+impl World {
+    fn new(topology: Topology, seed: u64) -> Self {
+        let links = topology
+            .edges()
+            .iter()
+            .map(|e| Link::new(e.cfg, e.to))
+            .collect();
+        World {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            topology,
+            links,
+            flows: Vec::new(),
+            rto_handles: Vec::new(),
+            rng: Pcg32::seeded(seed),
+            notifies: VecDeque::new(),
+            actions_scratch: Vec::new(),
+            total_drops: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to a flow, for metrics.
+    pub fn flow(&self, id: FlowId) -> &Flow {
+        &self.flows[id.0 as usize]
+    }
+
+    /// Number of flows ever opened.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Statistics for a link.
+    pub fn link_stats(&self, id: LinkId) -> LinkStats {
+        self.links[id.0 as usize].stats
+    }
+
+    /// The topology the world was built from.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn open_flow(&mut self, src: NodeId, dst: NodeId, cfg: FlowConfig) -> FlowId {
+        assert!(
+            self.topology.reachable(src, dst) && self.topology.reachable(dst, src),
+            "flow endpoints must be mutually reachable ({src} <-> {dst})"
+        );
+        assert_ne!(src, dst, "flows must connect distinct nodes");
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(Flow::new(id, src, dst, cfg));
+        self.rto_handles.push(None);
+        id
+    }
+
+    fn route_packet(&mut self, at: NodeId, packet: Packet) {
+        let lid = self
+            .topology
+            .next_hop(at, packet.dst)
+            .unwrap_or_else(|| panic!("no route {at} -> {}", packet.dst));
+        let roll = self.rng.f64();
+        match self.links[lid.0 as usize].enqueue(packet, roll) {
+            Enqueue::StartTx(tx) => {
+                self.queue.push(self.now + tx, Event::TxDone(lid));
+            }
+            Enqueue::Queued => {}
+            Enqueue::Dropped => {
+                self.total_drops += 1;
+            }
+        }
+    }
+
+    fn apply_flow_actions(&mut self, fid: FlowId) {
+        let actions = std::mem::take(&mut self.actions_scratch);
+        for action in &actions {
+            let (src, dst, header, ack_bytes) = {
+                let f = &self.flows[fid.0 as usize];
+                (f.src, f.dst, f.cfg.header_bytes, f.cfg.ack_bytes)
+            };
+            match *action {
+                FlowAction::SendData { offset, len } => {
+                    let p = Packet {
+                        flow: fid,
+                        src,
+                        dst,
+                        size: len + header,
+                        kind: PacketKind::Data { offset, len },
+                    };
+                    self.route_packet(src, p);
+                }
+                FlowAction::SendAck { cum } => {
+                    let p = Packet {
+                        flow: fid,
+                        src: dst,
+                        dst: src,
+                        size: ack_bytes,
+                        kind: PacketKind::Ack { cum },
+                    };
+                    self.route_packet(dst, p);
+                }
+                FlowAction::ArmRto(after) => {
+                    if let Some(h) = self.rto_handles[fid.0 as usize].take() {
+                        self.queue.cancel(h);
+                    }
+                    let h = self.queue.push(self.now + after, Event::Rto(fid));
+                    self.rto_handles[fid.0 as usize] = Some(h);
+                }
+                FlowAction::CancelRto => {
+                    if let Some(h) = self.rto_handles[fid.0 as usize].take() {
+                        self.queue.cancel(h);
+                    }
+                }
+                FlowAction::Deliver { tag } => {
+                    self.notifies.push_back(Notify::Message {
+                        node: dst,
+                        flow: fid,
+                        tag,
+                    });
+                }
+                FlowAction::Drained => {
+                    self.notifies.push_back(Notify::Drained {
+                        node: src,
+                        flow: fid,
+                    });
+                }
+            }
+        }
+        // Give the (now empty) buffer back for reuse.
+        self.actions_scratch = actions;
+        self.actions_scratch.clear();
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::TxDone(lid) => {
+                let link = &mut self.links[lid.0 as usize];
+                let delay = link.cfg.delay;
+                let dst = link.dst;
+                let (packet, next) = link.tx_done();
+                if let Some(tx) = next {
+                    self.queue.push(self.now + tx, Event::TxDone(lid));
+                }
+                self.queue
+                    .push(self.now + delay, Event::Arrive { node: dst, packet });
+            }
+            Event::Arrive { node, packet } => {
+                if node == packet.dst {
+                    self.receive(packet);
+                } else {
+                    self.route_packet(node, packet);
+                }
+            }
+            Event::AppTimer { node, token } => {
+                self.notifies.push_back(Notify::Timer { node, token });
+            }
+            Event::Rto(fid) => {
+                self.rto_handles[fid.0 as usize] = None;
+                let now = self.now;
+                let mut actions = std::mem::take(&mut self.actions_scratch);
+                self.flows[fid.0 as usize].on_rto(now, &mut actions);
+                self.actions_scratch = actions;
+                self.apply_flow_actions(fid);
+            }
+        }
+    }
+
+    fn receive(&mut self, packet: Packet) {
+        let fid = packet.flow;
+        let now = self.now;
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        match packet.kind {
+            PacketKind::Data { offset, len } => {
+                self.flows[fid.0 as usize].on_data(now, offset, len, &mut actions);
+            }
+            PacketKind::Ack { cum } => {
+                self.flows[fid.0 as usize].on_ack(now, cum, &mut actions);
+            }
+        }
+        self.actions_scratch = actions;
+        self.apply_flow_actions(fid);
+    }
+}
+
+/// The world as seen by one application during a callback.
+pub struct Ctx<'a> {
+    world: &'a mut World,
+    node: NodeId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The node this application runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The shared deterministic RNG.
+    pub fn rng(&mut self) -> &mut Pcg32 {
+        &mut self.world.rng
+    }
+
+    /// Open a flow from this node to `dst` with the given transport config.
+    pub fn open_flow(&mut self, dst: NodeId, cfg: FlowConfig) -> FlowId {
+        self.world.open_flow(self.node, dst, cfg)
+    }
+
+    /// Open a flow with default transport parameters.
+    pub fn open_default_flow(&mut self, dst: NodeId) -> FlowId {
+        self.open_flow(dst, FlowConfig::default())
+    }
+
+    /// Write a message of `bytes` bytes tagged `tag` onto `flow`. Must be
+    /// called from the flow's source node.
+    pub fn send(&mut self, flow: FlowId, bytes: u64, tag: u64) {
+        assert_eq!(
+            self.world.flows[flow.0 as usize].src, self.node,
+            "send from the wrong endpoint"
+        );
+        let now = self.world.now;
+        let mut actions = std::mem::take(&mut self.world.actions_scratch);
+        self.world.flows[flow.0 as usize].write(now, bytes, tag, &mut actions);
+        self.world.actions_scratch = actions;
+        self.world.apply_flow_actions(flow);
+    }
+
+    /// Abort `flow` from either endpoint. The peer gets an
+    /// [`App::on_flow_aborted`] callback; in-flight packets are ignored.
+    pub fn abort_flow(&mut self, flow: FlowId) {
+        let f = &self.world.flows[flow.0 as usize];
+        assert!(
+            f.src == self.node || f.dst == self.node,
+            "abort from a non-endpoint"
+        );
+        if f.is_aborted() {
+            return;
+        }
+        let peer = if f.src == self.node { f.dst } else { f.src };
+        let mut actions = std::mem::take(&mut self.world.actions_scratch);
+        self.world.flows[flow.0 as usize].abort(&mut actions);
+        self.world.actions_scratch = actions;
+        self.world.apply_flow_actions(flow);
+        self.world
+            .notifies
+            .push_back(Notify::Aborted { node: peer, flow });
+    }
+
+    /// Arm a timer that fires [`App::on_timer`] with `token` after `after`.
+    pub fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerHandle {
+        let h = self.world.queue.push(
+            self.world.now + after,
+            Event::AppTimer {
+                node: self.node,
+                token,
+            },
+        );
+        TimerHandle(h)
+    }
+
+    /// Cancel a pending timer. No-op if it already fired.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.world.queue.cancel(handle.0);
+    }
+
+    /// Read access to a flow (either endpoint), for byte counts etc.
+    pub fn flow(&self, id: FlowId) -> &Flow {
+        self.world.flow(id)
+    }
+
+    /// Propagation delay of the route to `dst` (for informed apps/tests).
+    pub fn path_delay(&self, dst: NodeId) -> Option<SimDuration> {
+        self.world.topology.path_delay(self.node, dst)
+    }
+}
+
+/// The simulator: a world plus one application per node.
+pub struct Simulator {
+    world: World,
+    apps: Vec<Option<Box<dyn App>>>,
+    started: bool,
+}
+
+impl Simulator {
+    /// Create a simulator over `topology`, seeded for determinism.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        let n = topology.node_count() as usize;
+        let mut apps = Vec::with_capacity(n);
+        apps.resize_with(n, || None);
+        Simulator {
+            world: World::new(topology, seed),
+            apps,
+            started: false,
+        }
+    }
+
+    /// Install an application on `node`. Replaces any previous one.
+    pub fn add_app(&mut self, node: NodeId, app: Box<dyn App>) {
+        self.apps[node.0 as usize] = Some(app);
+    }
+
+    /// Read access to the world, for metrics extraction.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Downcast the application on `node` to a concrete type.
+    pub fn app<T: App>(&self, node: NodeId) -> Option<&T> {
+        self.apps[node.0 as usize]
+            .as_deref()
+            .and_then(|a| (a as &dyn Any).downcast_ref::<T>())
+    }
+
+    /// Mutable downcast of the application on `node`.
+    pub fn app_mut<T: App>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.apps[node.0 as usize]
+            .as_deref_mut()
+            .and_then(|a| (a as &mut dyn Any).downcast_mut::<T>())
+    }
+
+    fn with_app<R>(&mut self, node: NodeId, f: impl FnOnce(&mut dyn App, &mut Ctx) -> R) -> R {
+        let mut app = self.apps[node.0 as usize]
+            .take()
+            .unwrap_or_else(|| panic!("no app on {node} (or reentrant dispatch)"));
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            node,
+        };
+        let r = f(app.as_mut(), &mut ctx);
+        self.apps[node.0 as usize] = Some(app);
+        r
+    }
+
+    fn dispatch_notifies(&mut self) {
+        while let Some(n) = self.world.notifies.pop_front() {
+            match n {
+                Notify::Message { node, flow, tag } => {
+                    self.with_app(node, |a, ctx| a.on_message(ctx, flow, tag));
+                }
+                Notify::Timer { node, token } => {
+                    self.with_app(node, |a, ctx| a.on_timer(ctx, token));
+                }
+                Notify::Drained { node, flow } => {
+                    self.with_app(node, |a, ctx| a.on_flow_drained(ctx, flow));
+                }
+                Notify::Aborted { node, flow } => {
+                    self.with_app(node, |a, ctx| a.on_flow_aborted(ctx, flow));
+                }
+            }
+        }
+    }
+
+    fn start_apps(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.apps.len() {
+            if self.apps[i].is_some() {
+                self.with_app(NodeId(i as u32), |a, ctx| a.start(ctx));
+            }
+        }
+    }
+
+    /// Run the simulation until `until` (inclusive of events at `until`).
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start_apps();
+        self.dispatch_notifies();
+        loop {
+            let Some(t) = self.world.queue.peek_time() else {
+                break;
+            };
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.world.queue.pop().expect("peeked");
+            debug_assert!(t >= self.world.now, "time went backwards");
+            self.world.now = t;
+            self.world.handle_event(ev);
+            self.dispatch_notifies();
+        }
+        if self.world.now < until {
+            self.world.now = until;
+        }
+    }
+
+    /// Run for a span of simulated time from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let until = self.world.now + span;
+        self.run_until(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::topology::TopologyBuilder;
+
+    /// Sends one message at start; records drain time.
+    struct Sender {
+        dst: NodeId,
+        bytes: u64,
+        flow: Option<FlowId>,
+        drained_at: Option<SimTime>,
+    }
+
+    impl App for Sender {
+        fn start(&mut self, ctx: &mut Ctx) {
+            let f = ctx.open_default_flow(self.dst);
+            ctx.send(f, self.bytes, 1);
+            self.flow = Some(f);
+        }
+        fn on_flow_drained(&mut self, ctx: &mut Ctx, _flow: FlowId) {
+            self.drained_at = Some(ctx.now());
+        }
+    }
+
+    /// Records message arrivals.
+    #[derive(Default)]
+    struct Receiver {
+        got: Vec<(SimTime, FlowId, u64)>,
+    }
+
+    impl App for Receiver {
+        fn on_message(&mut self, ctx: &mut Ctx, flow: FlowId, tag: u64) {
+            self.got.push((ctx.now(), flow, tag));
+        }
+    }
+
+    fn two_nodes(rate_bps: u64, delay_ms: u64) -> (Topology, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.node();
+        let z = b.node();
+        b.duplex(
+            a,
+            z,
+            LinkConfig::new(rate_bps, SimDuration::from_millis(delay_ms)),
+        );
+        (b.build(), a, z)
+    }
+
+    #[test]
+    fn small_message_delivered_quickly() {
+        let (t, a, z) = two_nodes(10_000_000, 5);
+        let mut sim = Simulator::new(t, 1);
+        sim.add_app(
+            a,
+            Box::new(Sender {
+                dst: z,
+                bytes: 500,
+                flow: None,
+                drained_at: None,
+            }),
+        );
+        sim.add_app(z, Box::new(Receiver::default()));
+        sim.run_until(SimTime::from_secs(2));
+        let rx = sim.app::<Receiver>(z).unwrap();
+        assert_eq!(rx.got.len(), 1);
+        assert_eq!(rx.got[0].2, 1);
+        // One-way: tx (540B at 10Mbps = 0.432ms) + 5ms prop.
+        let arrival = rx.got[0].0.as_secs_f64();
+        assert!(arrival > 0.005 && arrival < 0.010, "arrival {arrival}");
+        let tx = sim.app::<Sender>(a).unwrap();
+        assert!(tx.drained_at.is_some(), "sender saw the drain");
+    }
+
+    #[test]
+    fn bulk_transfer_throughput_approaches_link_rate() {
+        // 2 Mbit/s, 10 ms one-way. Send 2 MB; ideal time ~8 s + slow start.
+        let (t, a, z) = two_nodes(2_000_000, 10);
+        let mut sim = Simulator::new(t, 2);
+        let bytes = 2_000_000u64;
+        sim.add_app(
+            a,
+            Box::new(Sender {
+                dst: z,
+                bytes,
+                flow: None,
+                drained_at: None,
+            }),
+        );
+        sim.add_app(z, Box::new(Receiver::default()));
+        sim.run_until(SimTime::from_secs(60));
+        let tx = sim.app::<Sender>(a).unwrap();
+        let done = tx.drained_at.expect("transfer completed").as_secs_f64();
+        // Payload goodput limit: 2e6*8 bits / (2e6 bps * 1460/1500 eff) ≈ 8.2 s.
+        assert!(done > 8.0, "faster than the link allows: {done}");
+        assert!(done < 11.0, "took too long (cc problem?): {done}");
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let run = |seed| {
+            let (t, a, z) = two_nodes(1_000_000, 20);
+            let mut sim = Simulator::new(t, seed);
+            sim.add_app(
+                a,
+                Box::new(Sender {
+                    dst: z,
+                    bytes: 300_000,
+                    flow: None,
+                    drained_at: None,
+                }),
+            );
+            sim.add_app(z, Box::new(Receiver::default()));
+            sim.run_until(SimTime::from_secs(30));
+            sim.app::<Sender>(a).unwrap().drained_at
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_roughly_fairly() {
+        // Two senders behind a shared 2 Mbit/s bottleneck.
+        let mut b = TopologyBuilder::new();
+        let s1 = b.node();
+        let s2 = b.node();
+        let gw = b.node();
+        let z = b.node();
+        let fast = LinkConfig::new(100_000_000, SimDuration::from_millis(1));
+        b.duplex(s1, gw, fast);
+        b.duplex(s2, gw, fast);
+        b.duplex(
+            gw,
+            z,
+            LinkConfig::new(2_000_000, SimDuration::from_millis(10)).queue_packets(25),
+        );
+        let t = b.build();
+        let mut sim = Simulator::new(t, 3);
+        for (n, _) in [(s1, 0), (s2, 1)] {
+            sim.add_app(
+                n,
+                Box::new(Sender {
+                    dst: z,
+                    bytes: 30_000_000, // never finishes in 40 s
+                    flow: None,
+                    drained_at: None,
+                }),
+            );
+        }
+        sim.add_app(z, Box::new(Receiver::default()));
+        sim.run_until(SimTime::from_secs(40));
+        let f1 = sim.world().flow(FlowId(0)).acked_bytes() as f64;
+        let f2 = sim.world().flow(FlowId(1)).acked_bytes() as f64;
+        let ratio = f1.min(f2) / f1.max(f2);
+        assert!(ratio > 0.6, "unfair split: {f1} vs {f2}");
+        // Aggregate goodput should be near 2 Mbit/s payload-adjusted.
+        let total_mbps = (f1 + f2) * 8.0 / 40.0 / 1e6;
+        assert!(
+            total_mbps > 1.6 && total_mbps < 2.01,
+            "goodput {total_mbps}"
+        );
+    }
+
+    #[test]
+    fn lossy_link_still_delivers_reliably() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node();
+        let z = b.node();
+        // 5% loss each way.
+        b.duplex(
+            a,
+            z,
+            LinkConfig::new(5_000_000, SimDuration::from_millis(5)).drop_prob(0.05),
+        );
+        let t = b.build();
+        let mut sim = Simulator::new(t, 4);
+        sim.add_app(
+            a,
+            Box::new(Sender {
+                dst: z,
+                bytes: 500_000,
+                flow: None,
+                drained_at: None,
+            }),
+        );
+        sim.add_app(z, Box::new(Receiver::default()));
+        sim.run_until(SimTime::from_secs(120));
+        let rx = sim.app::<Receiver>(z).unwrap();
+        assert_eq!(rx.got.len(), 1, "message must arrive despite loss");
+        let f = sim.world().flow(FlowId(0));
+        assert!(
+            f.stats.segments_retransmitted > 0,
+            "loss caused retransmits"
+        );
+        assert_eq!(f.delivered_bytes(), 500_000);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerApp {
+            fired: Vec<u64>,
+            cancelled_handle: Option<TimerHandle>,
+        }
+        impl App for TimerApp {
+            fn start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                let h = ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                self.cancelled_handle = Some(h);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+                self.fired.push(token);
+                if token == 1 {
+                    let h = self.cancelled_handle.take().unwrap();
+                    ctx.cancel_timer(h);
+                }
+            }
+        }
+        let (t, a, _z) = two_nodes(1_000_000, 1);
+        let mut sim = Simulator::new(t, 5);
+        sim.add_app(
+            a,
+            Box::new(TimerApp {
+                fired: vec![],
+                cancelled_handle: None,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.app::<TimerApp>(a).unwrap().fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn abort_notifies_peer() {
+        struct Aborter {
+            dst: NodeId,
+        }
+        impl App for Aborter {
+            fn start(&mut self, ctx: &mut Ctx) {
+                let f = ctx.open_default_flow(self.dst);
+                ctx.send(f, 1_000_000, 1);
+                ctx.set_timer(SimDuration::from_millis(50), f.0 as u64);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+                ctx.abort_flow(FlowId(token as u32));
+            }
+        }
+        #[derive(Default)]
+        struct PeerWatch {
+            aborted: Vec<FlowId>,
+        }
+        impl App for PeerWatch {
+            fn on_flow_aborted(&mut self, _ctx: &mut Ctx, flow: FlowId) {
+                self.aborted.push(flow);
+            }
+        }
+        let (t, a, z) = two_nodes(1_000_000, 5);
+        let mut sim = Simulator::new(t, 6);
+        sim.add_app(a, Box::new(Aborter { dst: z }));
+        sim.add_app(z, Box::new(PeerWatch::default()));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.app::<PeerWatch>(z).unwrap().aborted, vec![FlowId(0)]);
+        assert!(sim.world().flow(FlowId(0)).is_aborted());
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let (t, _a, _z) = two_nodes(1_000_000, 1);
+        let mut sim = Simulator::new(t, 7);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.world().now(), SimTime::from_secs(5));
+        sim.run_for(SimDuration::from_secs(3));
+        assert_eq!(sim.world().now(), SimTime::from_secs(8));
+    }
+}

@@ -1,0 +1,21 @@
+//! A Reno-style reliable, congestion-controlled transport.
+//!
+//! Each [`Flow`] is one direction of a connection: a byte stream from
+//! `src` to `dst`, segmented into MSS-sized packets, acknowledged
+//! cumulatively, with slow start, AIMD congestion avoidance, fast
+//! retransmit/recovery (NewReno-style partial-ACK handling), and an
+//! RFC 6298 retransmission timer with exponential backoff.
+//!
+//! Applications write *messages* (a byte count plus a tag); the flow
+//! delivers the tag to the receiving application exactly when the last
+//! in-order byte of the message arrives, giving length-prefixed framing
+//! semantics on top of the stream.
+//!
+//! The flow is a pure state machine: every input returns a list of
+//! [`FlowAction`]s for the surrounding world to execute (send a packet, arm
+//! a timer, deliver a message). This keeps the protocol logic directly
+//! unit-testable, in the spirit of event-driven stacks like smoltcp.
+
+mod flow;
+
+pub use flow::{CongestionControl, Flow, FlowAction, FlowConfig, FlowStats};

@@ -1,0 +1,266 @@
+//! Simulation time.
+//!
+//! The simulator keeps time as an integer number of nanoseconds since the
+//! start of the run. Integer time makes event ordering exact and runs
+//! reproducible across platforms; floating-point clocks accumulate rounding
+//! error and can reorder events between machines.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, in nanoseconds since the run started.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+/// Nanoseconds per millisecond.
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+/// Nanoseconds per microsecond.
+pub const NANOS_PER_MICRO: u64 = 1_000;
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than any event a run will ever schedule.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * NANOS_PER_SEC)
+    }
+
+    /// Raw nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the start of the run, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Time elapsed since `earlier`. Saturates at zero rather than panicking
+    /// so metric code can be sloppy about event ordering at the margins.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference; `None` if `earlier` is actually later.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * NANOS_PER_MICRO)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * NANOS_PER_MILLI)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * NANOS_PER_SEC)
+    }
+
+    /// Construct from a float number of seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((secs * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Milliseconds, as a float (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_MILLI as f64
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub fn saturating_mul(self, factor: u64) -> Self {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// The time to serialize `bytes` onto a link of `rate_bps` bits/second.
+    ///
+    /// Rounds up to a whole nanosecond so zero-length transmissions are the
+    /// only instantaneous ones. A zero rate yields an effectively infinite
+    /// duration (callers treat such links as unusable).
+    pub fn transmission(bytes: u64, rate_bps: u64) -> Self {
+        if rate_bps == 0 {
+            return SimDuration(u64::MAX / 4);
+        }
+        let bits = bytes as u128 * 8;
+        let nanos = (bits * NANOS_PER_SEC as u128).div_ceil(rate_bps as u128);
+        SimDuration(nanos.min(u64::MAX as u128 / 4) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_time_1500b_at_2mbps() {
+        // 1500 bytes at 2 Mbit/s = 6 ms.
+        let d = SimDuration::transmission(1500, 2_000_000);
+        assert_eq!(d.as_nanos(), 6_000_000);
+    }
+
+    #[test]
+    fn transmission_time_rounds_up() {
+        // 1 byte at 3 bits/ns-scale rate: must not round to zero.
+        let d = SimDuration::transmission(1, 999_999_999_999);
+        assert!(d.as_nanos() >= 1);
+        assert_eq!(SimDuration::transmission(0, 1_000).as_nanos(), 0);
+    }
+
+    #[test]
+    fn zero_rate_is_effectively_infinite() {
+        let d = SimDuration::transmission(1500, 0);
+        assert!(d > SimDuration::from_secs(1_000_000));
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let t = SimTime::ZERO;
+        assert_eq!(t - SimDuration::from_secs(5), SimTime::ZERO);
+        let big = SimDuration::from_nanos(u64::MAX);
+        assert_eq!(big + big, SimDuration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let d = SimDuration::from_secs_f64(1.5);
+        assert_eq!(d.as_nanos(), 1_500_000_000);
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn since_helpers() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(5);
+        assert_eq!(b.saturating_since(a), SimDuration::from_secs(2));
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(a.checked_since(b), None);
+        assert_eq!(b.checked_since(a), Some(SimDuration::from_secs(2)));
+    }
+}

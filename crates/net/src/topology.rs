@@ -1,0 +1,279 @@
+//! Topology construction and static routing.
+//!
+//! Topologies are small (tens of nodes): clients, optional aggregation
+//! switches, a thinner, a server. Routing is computed once at build time
+//! with per-destination BFS next-hop tables; ties break on the smaller
+//! link id so routes are deterministic.
+
+use crate::link::LinkConfig;
+use crate::packet::{LinkId, NodeId};
+use std::collections::VecDeque;
+
+/// A directed edge in the topology under construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Link parameters.
+    pub cfg: LinkConfig,
+}
+
+/// Builder for a [`Topology`].
+#[derive(Default)]
+pub struct TopologyBuilder {
+    nodes: u32,
+    edges: Vec<Edge>,
+}
+
+impl TopologyBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node and return its id.
+    pub fn node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes);
+        self.nodes += 1;
+        id
+    }
+
+    /// Add `n` nodes and return their ids.
+    pub fn nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.node()).collect()
+    }
+
+    /// Add a unidirectional link and return its id.
+    pub fn link(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) -> LinkId {
+        assert!(from.0 < self.nodes && to.0 < self.nodes, "unknown node");
+        assert_ne!(from, to, "self-links are not allowed");
+        let id = LinkId(self.edges.len() as u32);
+        self.edges.push(Edge { from, to, cfg });
+        id
+    }
+
+    /// Add a symmetric pair of links and return `(forward, reverse)` ids.
+    pub fn duplex(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (LinkId, LinkId) {
+        (self.link(a, b, cfg), self.link(b, a, cfg))
+    }
+
+    /// Add an asymmetric pair of links: `a -> b` with `up`, `b -> a` with
+    /// `down`. Returns `(up_id, down_id)`.
+    pub fn duplex_asym(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        up: LinkConfig,
+        down: LinkConfig,
+    ) -> (LinkId, LinkId) {
+        (self.link(a, b, up), self.link(b, a, down))
+    }
+
+    /// Finalize: compute routes. Panics if any node pair connected by the
+    /// application later turns out unreachable — unreachable pairs are
+    /// permitted here and only fail if a flow is opened across one.
+    pub fn build(self) -> Topology {
+        let n = self.nodes as usize;
+        // adjacency: per node, outgoing (link, to) sorted by link id.
+        let mut adj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            adj[e.from.0 as usize].push((LinkId(i as u32), e.to));
+        }
+        // next_hop[src][dst] = first link on a shortest path src -> dst.
+        let mut next_hop = vec![vec![None; n]; n];
+        for src in 0..n {
+            // BFS from src over directed edges.
+            let mut dist = vec![u32::MAX; n];
+            let mut first_link: Vec<Option<LinkId>> = vec![None; n];
+            dist[src] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(src);
+            while let Some(u) = q.pop_front() {
+                for &(lid, v) in &adj[u] {
+                    let v = v.0 as usize;
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        first_link[v] = if u == src { Some(lid) } else { first_link[u] };
+                        q.push_back(v);
+                    }
+                }
+            }
+            for dst in 0..n {
+                if dst != src {
+                    next_hop[src][dst] = first_link[dst];
+                }
+            }
+        }
+        Topology {
+            node_count: self.nodes,
+            edges: self.edges,
+            next_hop,
+        }
+    }
+}
+
+/// A finished topology: edges plus routing tables.
+pub struct Topology {
+    node_count: u32,
+    edges: Vec<Edge>,
+    /// `next_hop[src][dst]`: the first link on the route, if reachable.
+    next_hop: Vec<Vec<Option<LinkId>>>,
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// All directed edges, indexed by `LinkId`.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The outgoing link `at` should use to forward toward `dst`.
+    pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.next_hop[at.0 as usize][dst.0 as usize]
+    }
+
+    /// Whether `dst` is reachable from `src`.
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        src == dst || self.next_hop(src, dst).is_some()
+    }
+
+    /// The full ordered list of links a packet from `src` to `dst` will
+    /// traverse. Useful for tests and for computing path RTTs.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        let mut at = src;
+        let mut links = Vec::new();
+        while at != dst {
+            let lid = self.next_hop(at, dst)?;
+            links.push(lid);
+            at = self.edges[lid.0 as usize].to;
+            if links.len() > self.node_count as usize {
+                return None; // routing loop; cannot happen with BFS tables
+            }
+        }
+        Some(links)
+    }
+
+    /// Sum of propagation delays along `src -> dst` (excludes transmission
+    /// and queueing time).
+    pub fn path_delay(&self, src: NodeId, dst: NodeId) -> Option<crate::time::SimDuration> {
+        let links = self.path(src, dst)?;
+        let mut d = crate::time::SimDuration::ZERO;
+        for l in links {
+            d += self.edges[l.0 as usize].cfg.delay;
+        }
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn cfg() -> LinkConfig {
+        LinkConfig::new(1_000_000, SimDuration::from_millis(5))
+    }
+
+    #[test]
+    fn direct_route() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node();
+        let c = b.node();
+        let (up, down) = b.duplex(a, c, cfg());
+        let t = b.build();
+        assert_eq!(t.next_hop(a, c), Some(up));
+        assert_eq!(t.next_hop(c, a), Some(down));
+        assert_eq!(t.path(a, c).unwrap(), vec![up]);
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let mut b = TopologyBuilder::new();
+        let hub = b.node();
+        let leaves: Vec<_> = (0..5).map(|_| b.node()).collect();
+        for &leaf in &leaves {
+            b.duplex(leaf, hub, cfg());
+        }
+        let t = b.build();
+        // Leaf to leaf goes through the hub: two hops.
+        let p = t.path(leaves[0], leaves[4]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            t.path_delay(leaves[0], leaves[4]),
+            Some(SimDuration::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node();
+        let c = b.node();
+        let d = b.node();
+        b.link(a, c, cfg()); // one-way only; nothing touches d
+        let t = b.build();
+        assert!(t.reachable(a, c));
+        assert!(!t.reachable(c, a));
+        assert!(!t.reachable(a, d));
+        assert_eq!(t.path(a, d), None);
+        assert!(t.reachable(d, d));
+    }
+
+    #[test]
+    fn shortest_path_chosen() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node();
+        let m1 = b.node();
+        let m2 = b.node();
+        let z = b.node();
+        // Long path a -> m1 -> m2 -> z, short path a -> z.
+        b.link(a, m1, cfg());
+        b.link(m1, m2, cfg());
+        b.link(m2, z, cfg());
+        let direct = b.link(a, z, cfg());
+        let t = b.build();
+        assert_eq!(t.path(a, z).unwrap(), vec![direct]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Two parallel equal-length routes; the smaller link id wins.
+        let mut b = TopologyBuilder::new();
+        let a = b.node();
+        let z = b.node();
+        let l0 = b.link(a, z, cfg());
+        let _l1 = b.link(a, z, cfg());
+        let t = b.build();
+        assert_eq!(t.next_hop(a, z), Some(l0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node();
+        b.link(a, a, cfg());
+    }
+
+    #[test]
+    fn bottleneck_topology_path() {
+        // clients -> gateway -> (bottleneck) -> hub -> thinner
+        let mut b = TopologyBuilder::new();
+        let hub = b.node();
+        let thinner = b.node();
+        b.duplex(hub, thinner, cfg());
+        let gw = b.node();
+        b.duplex(gw, hub, cfg());
+        let c1 = b.node();
+        b.duplex(c1, gw, cfg());
+        let t = b.build();
+        assert_eq!(t.path(c1, thinner).unwrap().len(), 3);
+        assert_eq!(t.path(thinner, c1).unwrap().len(), 3);
+    }
+}

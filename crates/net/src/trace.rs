@@ -1,0 +1,211 @@
+//! Measurement helpers: summaries, percentiles, time series.
+
+use crate::time::{SimDuration, SimTime};
+
+/// An accumulating sample set with summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Record a duration sample, in seconds.
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.push(d.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.sum() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (0 with fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// The p-th percentile (0..=100) by nearest-rank on the sorted samples.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let n = self.values.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.values[rank.clamp(1, n) - 1]
+    }
+
+    /// Smallest sample.
+    pub fn min(&mut self) -> f64 {
+        self.percentile(0.0)
+    }
+
+    /// Largest sample.
+    pub fn max(&mut self) -> f64 {
+        self.percentile(100.0)
+    }
+
+    /// The raw samples, in insertion (or sorted, after percentile) order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A time series with fixed-width buckets, summing values per bucket
+/// (e.g. bytes per 5-second interval, as the paper's capacity test uses).
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bucket: SimDuration,
+    buckets: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// A series with the given bucket width.
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(bucket.as_nanos() > 0);
+        TimeSeries {
+            bucket,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Add `value` to the bucket containing `at`.
+    pub fn add(&mut self, at: SimTime, value: f64) {
+        let idx = (at.as_nanos() / self.bucket.as_nanos()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += value;
+    }
+
+    /// Per-bucket sums.
+    pub fn buckets(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// Mean and standard deviation of per-bucket sums, excluding the first
+    /// and last bucket (edge effects), matching the paper's methodology of
+    /// reporting a 5-second-interval time series mean ± stddev.
+    pub fn interior_mean_stddev(&self) -> (f64, f64) {
+        if self.buckets.len() <= 2 {
+            let mut s = Samples::new();
+            for &b in &self.buckets {
+                s.push(b);
+            }
+            return (s.mean(), s.stddev());
+        }
+        let mut s = Samples::new();
+        for &b in &self.buckets[1..self.buckets.len() - 1] {
+            s.push(b);
+        }
+        (s.mean(), s.stddev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let mut s = Samples::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(v);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Samples::new();
+        for v in 1..=100 {
+            s.push(v as f64);
+        }
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(90.0), 90.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.min(), 1.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let mut s = Samples::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(50.0), 3.0);
+        s.push(0.5);
+        assert_eq!(s.min(), 0.5);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let mut s = Samples::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(90.0), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn time_series_buckets() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(5));
+        ts.add(SimTime::from_secs(1), 10.0);
+        ts.add(SimTime::from_secs(4), 5.0);
+        ts.add(SimTime::from_secs(5), 7.0);
+        ts.add(SimTime::from_secs(14), 3.0);
+        assert_eq!(ts.buckets(), &[15.0, 7.0, 3.0]);
+    }
+
+    #[test]
+    fn interior_stats_drop_edges() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        for (t, v) in [(0, 100.0), (1, 10.0), (2, 10.0), (3, 10.0), (4, 100.0)] {
+            ts.add(SimTime::from_secs(t), v);
+        }
+        let (mean, sd) = ts.interior_mean_stddev();
+        assert_eq!(mean, 10.0);
+        assert_eq!(sd, 0.0);
+    }
+}

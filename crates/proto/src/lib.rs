@@ -1,0 +1,30 @@
+//! # speakup-proto — the speak-up prototype's wire protocol (§6)
+//!
+//! The paper's thinner is a Web front-end: unmodified JavaScript-capable
+//! browsers participate by issuing an actual request plus one-megabyte
+//! dummy HTTP POSTs (the payment channel), correlated by an `id` field.
+//! This crate implements that exchange over an HTTP/1.1 subset:
+//!
+//! * [`http`] — incremental request parsing (body progress is reported
+//!   chunk-by-chunk, because the thinner counts payment bytes as they
+//!   arrive) and response serialization.
+//! * [`message`] — the typed speak-up moves (`Service`, `Payment`,
+//!   `Encourage`, `Continue`, `Served`, `Dropped`) and their encodings.
+//!
+//! Used by `speakup-proxy` (a real TCP thinner) and its tests. The
+//! simulation harness (`speakup-exp`) exchanges typed messages directly
+//! and only borrows this crate's constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod message;
+
+pub use http::{
+    HeaderMap, Method, ParseError, ParseEvent, RequestHead, RequestParser, ResponseHead,
+};
+pub use message::{
+    classify_request, classify_response, ClientMessage, ProtocolError, ThinnerMessage,
+    WireRequestId, PAYMENT_POST_BYTES,
+};

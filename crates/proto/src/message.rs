@@ -1,0 +1,281 @@
+//! The speak-up exchange, mapped onto HTTP exactly as §6 describes.
+//!
+//! When the emulated server is busy, the thinner returns JavaScript that
+//! makes the browser issue **two** HTTP requests: (1) the actual request,
+//! whose response the thinner delays, and (2) a one-megabyte HTTP POST of
+//! dummy bytes — the payment channel. If the POST completes before the
+//! client wins the auction, the thinner tells the client to POST again. An
+//! `id` field in both requests correlates payment with request.
+//!
+//! This module gives those moves names and encodings:
+//!
+//! | wire | meaning |
+//! |---|---|
+//! | `GET /service?id=N` | the actual request (1) |
+//! | `POST /payment?id=N` + 1 MB body | one payment chunk on channel (2) |
+//! | `200` + `X-SpeakUp: serve` | request served, body = server response |
+//! | `200` + `X-SpeakUp: encourage` + `X-SpeakUp-Price` | open a payment channel (body = the "JavaScript") |
+//! | `200` + `X-SpeakUp: continue` | POST finished but not admitted: POST again |
+//! | `503` + `X-SpeakUp: drop` | dropped (baseline mode / channel timeout) |
+
+use crate::http::{write_request, write_response, HeaderMap, Method, RequestHead, ResponseHead};
+use bytes::Bytes;
+
+/// The size of one payment POST: 1 MB, "reflecting some browsers' limits
+/// on POSTs" (§6).
+pub const PAYMENT_POST_BYTES: u64 = 1 << 20;
+
+/// A request id as carried in the `id` query parameter.
+pub type WireRequestId = u64;
+
+/// What a client→thinner request means.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientMessage {
+    /// `GET /service?id=N` — the actual request.
+    Service(WireRequestId),
+    /// `POST /payment?id=N` — a payment chunk of the given declared size.
+    Payment(WireRequestId, u64),
+}
+
+/// What a thinner→client response means.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThinnerMessage {
+    /// The request was served.
+    Served,
+    /// Open a payment channel; the going rate (bytes) is advisory.
+    Encourage {
+        /// Current going rate in bytes (§3.3's emergent price).
+        going_rate: u64,
+    },
+    /// The POST completed but the auction is not yet won: send another.
+    Continue,
+    /// The request was dropped.
+    Dropped,
+}
+
+/// Errors interpreting a parsed HTTP message as a speak-up message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Unknown path.
+    UnknownEndpoint(String),
+    /// Missing or malformed `id` query parameter.
+    BadId,
+    /// GET where POST was required or vice versa.
+    WrongMethod,
+    /// Response lacked the `X-SpeakUp` header.
+    NotSpeakup,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnknownEndpoint(t) => write!(f, "unknown endpoint {t}"),
+            ProtocolError::BadId => f.write_str("missing or malformed id"),
+            ProtocolError::WrongMethod => f.write_str("wrong method for endpoint"),
+            ProtocolError::NotSpeakup => f.write_str("response is not a speak-up message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn parse_id(target: &str) -> Result<WireRequestId, ProtocolError> {
+    let (_, query) = target.split_once('?').ok_or(ProtocolError::BadId)?;
+    for pair in query.split('&') {
+        if let Some(v) = pair.strip_prefix("id=") {
+            return v.parse().map_err(|_| ProtocolError::BadId);
+        }
+    }
+    Err(ProtocolError::BadId)
+}
+
+/// Interpret a parsed request head as a speak-up client message.
+pub fn classify_request(head: &RequestHead) -> Result<ClientMessage, ProtocolError> {
+    let path = head.target.split('?').next().unwrap_or("");
+    match path {
+        "/service" => {
+            if head.method != Method::Get {
+                return Err(ProtocolError::WrongMethod);
+            }
+            Ok(ClientMessage::Service(parse_id(&head.target)?))
+        }
+        "/payment" => {
+            if head.method != Method::Post {
+                return Err(ProtocolError::WrongMethod);
+            }
+            Ok(ClientMessage::Payment(
+                parse_id(&head.target)?,
+                head.content_length,
+            ))
+        }
+        _ => Err(ProtocolError::UnknownEndpoint(head.target.clone())),
+    }
+}
+
+/// Interpret a parsed response head as a speak-up thinner message.
+pub fn classify_response(head: &ResponseHead) -> Result<ThinnerMessage, ProtocolError> {
+    match head.headers.get("x-speakup") {
+        Some("serve") => Ok(ThinnerMessage::Served),
+        Some("encourage") => {
+            let going_rate = head
+                .headers
+                .get("x-speakup-price")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            Ok(ThinnerMessage::Encourage { going_rate })
+        }
+        Some("continue") => Ok(ThinnerMessage::Continue),
+        Some("drop") => Ok(ThinnerMessage::Dropped),
+        _ => Err(ProtocolError::NotSpeakup),
+    }
+}
+
+/// Encode the actual request (1).
+pub fn encode_service_request(id: WireRequestId) -> Bytes {
+    write_request(
+        Method::Get,
+        &format!("/service?id={id}"),
+        &HeaderMap::new(),
+        b"",
+    )
+}
+
+/// Encode the head of a payment POST (2). The dummy body bytes stream
+/// separately — the caller writes `len` filler bytes after this.
+pub fn encode_payment_head(id: WireRequestId, len: u64) -> Bytes {
+    let mut h = HeaderMap::new();
+    h.push("Content-Length", len.to_string());
+    h.push("Content-Type", "application/octet-stream");
+    write_request(Method::Post, &format!("/payment?id={id}"), &h, b"")
+}
+
+/// Encode the "request served" response carrying the server's reply.
+pub fn encode_served(body: &[u8]) -> Bytes {
+    let mut h = HeaderMap::new();
+    h.push("X-SpeakUp", "serve");
+    write_response(200, "OK", &h, body)
+}
+
+/// Encode the encouragement response: in the real prototype this body is
+/// JavaScript that makes the browser send the payment POST; any
+/// JavaScript-capable browser can participate unmodified (§6).
+pub fn encode_encourage(going_rate: u64) -> Bytes {
+    let mut h = HeaderMap::new();
+    h.push("X-SpeakUp", "encourage");
+    h.push("X-SpeakUp-Price", going_rate.to_string());
+    let body = format!(
+        "<html><script>/* speak-up: POST {PAYMENT_POST_BYTES} dummy bytes to \
+         /payment, going rate {going_rate} bytes */</script></html>"
+    );
+    write_response(200, "OK", &h, body.as_bytes())
+}
+
+/// Encode the "POST again" response.
+pub fn encode_continue() -> Bytes {
+    let mut h = HeaderMap::new();
+    h.push("X-SpeakUp", "continue");
+    write_response(200, "OK", &h, b"")
+}
+
+/// Encode the drop response.
+pub fn encode_dropped() -> Bytes {
+    let mut h = HeaderMap::new();
+    h.push("X-SpeakUp", "drop");
+    write_response(503, "Service Unavailable", &h, b"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{parse_response_head, ParseEvent, RequestParser};
+
+    fn parse_one_head(wire: &[u8]) -> RequestHead {
+        let mut p = RequestParser::new();
+        p.push(wire);
+        match p.next_event().unwrap() {
+            Some(ParseEvent::Head(h)) => h,
+            other => panic!("expected head, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn service_request_roundtrip() {
+        let wire = encode_service_request(42);
+        let head = parse_one_head(&wire);
+        assert_eq!(classify_request(&head), Ok(ClientMessage::Service(42)));
+    }
+
+    #[test]
+    fn payment_request_roundtrip() {
+        let wire = encode_payment_head(7, PAYMENT_POST_BYTES);
+        let head = parse_one_head(&wire);
+        assert_eq!(
+            classify_request(&head),
+            Ok(ClientMessage::Payment(7, PAYMENT_POST_BYTES))
+        );
+    }
+
+    #[test]
+    fn wrong_method_rejected() {
+        let head = parse_one_head(b"POST /service?id=1 HTTP/1.1\r\n\r\n");
+        assert_eq!(classify_request(&head), Err(ProtocolError::WrongMethod));
+        let head = parse_one_head(b"GET /payment?id=1 HTTP/1.1\r\n\r\n");
+        assert_eq!(classify_request(&head), Err(ProtocolError::WrongMethod));
+    }
+
+    #[test]
+    fn missing_id_rejected() {
+        let head = parse_one_head(b"GET /service HTTP/1.1\r\n\r\n");
+        assert_eq!(classify_request(&head), Err(ProtocolError::BadId));
+        let head = parse_one_head(b"GET /service?id=abc HTTP/1.1\r\n\r\n");
+        assert_eq!(classify_request(&head), Err(ProtocolError::BadId));
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let head = parse_one_head(b"GET /robots.txt HTTP/1.1\r\n\r\n");
+        assert!(matches!(
+            classify_request(&head),
+            Err(ProtocolError::UnknownEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn id_among_other_params() {
+        let head = parse_one_head(b"GET /service?session=9&id=33&x=1 HTTP/1.1\r\n\r\n");
+        assert_eq!(classify_request(&head), Ok(ClientMessage::Service(33)));
+    }
+
+    #[test]
+    fn thinner_responses_roundtrip() {
+        for (wire, expect) in [
+            (encode_served(b"result"), ThinnerMessage::Served),
+            (
+                encode_encourage(125_000),
+                ThinnerMessage::Encourage {
+                    going_rate: 125_000,
+                },
+            ),
+            (encode_continue(), ThinnerMessage::Continue),
+            (encode_dropped(), ThinnerMessage::Dropped),
+        ] {
+            let (head, _) = parse_response_head(&wire).unwrap().unwrap();
+            assert_eq!(classify_response(&head), Ok(expect));
+        }
+    }
+
+    #[test]
+    fn non_speakup_response_rejected() {
+        let wire = crate::http::write_response(200, "OK", &HeaderMap::new(), b"plain");
+        let (head, _) = parse_response_head(&wire).unwrap().unwrap();
+        assert_eq!(classify_response(&head), Err(ProtocolError::NotSpeakup));
+    }
+
+    #[test]
+    fn encourage_body_mentions_protocol() {
+        let wire = encode_encourage(99);
+        let s = String::from_utf8_lossy(&wire);
+        assert!(s.contains("script"), "body should carry the 'JavaScript'");
+        assert!(s.contains("99"));
+    }
+}

@@ -1,0 +1,63 @@
+//! The thinner over real TCP sockets: spawn the proxy on loopback, throw
+//! a small crowd of clients at an overloaded c = 4 server, and watch the
+//! §3.3 exchange (encourage → POST dummy bytes → win → collect).
+//!
+//! Run: `cargo run --release --example real_proxy`
+
+use speakup_core::thinner::AuctionConfig;
+use speakup_net::time::SimDuration;
+use speakup_proxy::client::{fetch, FetchConfig};
+use speakup_proxy::{spawn, ProxyConfig, Verdict};
+
+fn main() {
+    let proxy = spawn(ProxyConfig {
+        capacity: 4.0,
+        seed: 7,
+        auction: AuctionConfig {
+            channel_timeout: SimDuration::from_secs(5),
+        },
+    })
+    .expect("spawn proxy");
+    println!("thinner listening on {} (c = 4 req/s)\n", proxy.addr());
+
+    let addr = proxy.addr();
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let out = fetch(
+                    addr,
+                    i,
+                    FetchConfig {
+                        post_bytes: 64 * 1024,
+                        ..FetchConfig::default()
+                    },
+                )
+                .expect("fetch");
+                (i, out)
+            })
+        })
+        .collect();
+
+    for c in clients {
+        let (i, out) = c.join().expect("client");
+        println!(
+            "client {i}: {:?} after {} POSTs, {} payment bytes{}",
+            out.verdict,
+            out.posts,
+            out.payment_bytes,
+            match out.advertised_rate {
+                Some(r) if out.posts > 0 => format!(" (going rate seen: {r})"),
+                _ => String::new(),
+            }
+        );
+    }
+
+    let (served, dropped) = proxy.outcomes();
+    println!(
+        "\nproxy totals: served {served}, dropped {dropped}, sank {} payment bytes",
+        proxy.payment_bytes()
+    );
+    assert_eq!(served + dropped, 8);
+    proxy.shutdown();
+    println!("proxy shut down cleanly");
+}

@@ -1,0 +1,100 @@
+//! Integration: the headline result (Figs 1–3). Speak-up allocates the
+//! server roughly in proportion to bandwidth; without it, request rates
+//! rule and bad clients dominate.
+
+use speakup_core::client::ClientProfile;
+use speakup_exp::scenario::{ClientSpec, Mode, Scenario};
+use speakup_net::time::SimDuration;
+
+fn attack(mode: Mode, n_good: usize, n_bad: usize, c: f64) -> Scenario {
+    let mut s = Scenario::new(format!("attack {mode:?}"), c, mode);
+    s.add_clients(n_good, ClientSpec::lan(ClientProfile::good()));
+    s.add_clients(n_bad, ClientSpec::lan(ClientProfile::bad()));
+    s.duration(SimDuration::from_secs(30))
+}
+
+#[test]
+fn without_speakup_bad_clients_dominate() {
+    let r = speakup_exp::run(&attack(Mode::Off, 5, 5, 20.0));
+    // Bad clients request 20x faster; good should get well under a fifth.
+    assert!(
+        r.good_fraction() < 0.2,
+        "good fraction {} unexpectedly high",
+        r.good_fraction()
+    );
+    assert!(r.allocation.bad > 4 * r.allocation.good);
+}
+
+#[test]
+fn with_speakup_allocation_tracks_bandwidth() {
+    let r = speakup_exp::run(&attack(Mode::Auction, 5, 5, 20.0));
+    // Equal bandwidth: ideal share 0.5; accept the paper's adversarial
+    // advantage (good slightly below).
+    assert!(
+        (0.35..=0.60).contains(&r.good_fraction()),
+        "good fraction {}",
+        r.good_fraction()
+    );
+}
+
+#[test]
+fn speakup_improves_on_baseline_across_mixes() {
+    for (n_good, n_bad) in [(2usize, 8usize), (5, 5), (8, 2)] {
+        let off = speakup_exp::run(&attack(Mode::Off, n_good, n_bad, 20.0));
+        let on = speakup_exp::run(&attack(Mode::Auction, n_good, n_bad, 20.0));
+        assert!(
+            on.good_fraction() > off.good_fraction(),
+            "speak-up must help ({n_good}/{n_bad}): {} vs {}",
+            on.good_fraction(),
+            off.good_fraction()
+        );
+        let ideal = n_good as f64 / (n_good + n_bad) as f64;
+        assert!(
+            (on.good_fraction() - ideal).abs() < 0.2,
+            "share {} too far from ideal {ideal}",
+            on.good_fraction()
+        );
+    }
+}
+
+#[test]
+fn unloaded_server_serves_everyone_for_free() {
+    // Good demand 10 req/s against c = 100: no attack, no payment.
+    let mut s = Scenario::new("unloaded", 100.0, Mode::Auction);
+    s.add_clients(5, ClientSpec::lan(ClientProfile::good()));
+    let s = s.duration(SimDuration::from_secs(20));
+    let r = speakup_exp::run(&s);
+    assert!(
+        r.good_served_fraction() > 0.95,
+        "{}",
+        r.good_served_fraction()
+    );
+    assert!(
+        r.price_good.mean() < 1000.0,
+        "price should be ~0 unloaded, got {}",
+        r.price_good.mean()
+    );
+}
+
+#[test]
+fn server_stays_saturated_under_attack() {
+    let r = speakup_exp::run(&attack(Mode::Auction, 5, 5, 20.0));
+    assert!(
+        r.server_utilization > 0.95,
+        "thinner must keep the server busy: {}",
+        r.server_utilization
+    );
+}
+
+#[test]
+fn flash_crowd_behaves_like_an_attack() {
+    // §9: all-good overload — speak-up still allocates by bandwidth and
+    // keeps the server saturated.
+    let mut s = Scenario::new("flash", 10.0, Mode::Auction);
+    s.add_clients(10, ClientSpec::lan(ClientProfile::good()));
+    let s = s.duration(SimDuration::from_secs(30));
+    let r = speakup_exp::run(&s);
+    assert!(r.server_utilization > 0.9);
+    assert_eq!(r.allocation.bad, 0);
+    assert!(r.allocation.good as f64 >= 10.0 * 30.0 * 0.8);
+}

@@ -1,0 +1,121 @@
+//! Integration: §5 and §7.5 — unequal bandwidths, unequal request
+//! difficulties, unequal RTTs.
+
+use speakup_core::client::ClientProfile;
+use speakup_exp::scenario::{ClientSpec, Mode, Scenario};
+use speakup_net::time::SimDuration;
+
+#[test]
+fn bandwidth_ladder_is_proportional() {
+    // 2 clients per rung at 0.5/1.0/1.5 Mbit/s, all good, c = 4.
+    let mut s = Scenario::new("ladder", 4.0, Mode::Auction);
+    for i in 1..=3u64 {
+        s.add_clients(
+            2,
+            ClientSpec::lan(ClientProfile::good()).bandwidth(500_000 * i),
+        );
+    }
+    let r = speakup_exp::run(&s.duration(SimDuration::from_secs(60)));
+    let mut rung = [0u64; 3];
+    for (i, pc) in r.per_client.iter().enumerate() {
+        rung[i / 2] += pc.served;
+    }
+    let total: u64 = rung.iter().sum();
+    for (i, &served) in rung.iter().enumerate() {
+        let share = served as f64 / total as f64;
+        let ideal = (i as f64 + 1.0) / 6.0;
+        assert!(
+            (share - ideal).abs() < 0.08,
+            "rung {i}: share {share} vs ideal {ideal}"
+        );
+    }
+}
+
+#[test]
+fn hard_requests_cheat_plain_auction_but_not_quantum() {
+    let hard = 4.0;
+    let mk = |mode| {
+        let mut s = Scenario::new("hetero", 20.0, mode);
+        s.add_clients(5, ClientSpec::lan(ClientProfile::good()));
+        s.add_clients(5, ClientSpec::lan(ClientProfile::bad().difficulty(hard)));
+        s.duration(SimDuration::from_secs(40))
+    };
+    let plain = speakup_exp::run(&mk(Mode::Auction));
+    let quantum = speakup_exp::run(&mk(Mode::Quantum {
+        quantum: SimDuration::from_millis(10),
+    }));
+    let work_share = |r: &speakup_exp::RunReport| {
+        let g = r.allocation.good as f64;
+        let b = r.allocation.bad as f64 * hard;
+        g / (g + b)
+    };
+    let plain_share = work_share(&plain);
+    let quantum_share = work_share(&quantum);
+    assert!(
+        plain_share < 0.4,
+        "plain auction should be cheated by hard requests: {plain_share}"
+    );
+    assert!(
+        quantum_share > plain_share + 0.1,
+        "quantum auction must claw back work share: {quantum_share} vs {plain_share}"
+    );
+}
+
+#[test]
+fn quantum_front_end_suspends_and_resumes_on_the_server() {
+    // Make preemption certain: two very long requests contending.
+    let mut s = Scenario::new(
+        "preempt",
+        2.0,
+        Mode::Quantum {
+            quantum: SimDuration::from_millis(50),
+        },
+    );
+    s.add_clients(4, ClientSpec::lan(ClientProfile::good().difficulty(10.0)));
+    let r = speakup_exp::run(&s.duration(SimDuration::from_secs(30)));
+    // Requests take ~5 s each; with 4 eager clients there must be churn,
+    // and everything completed still adds up.
+    assert!(r.allocation.good > 0);
+    assert!(r.server_utilization > 0.8, "{}", r.server_utilization);
+}
+
+#[test]
+fn rtt_hurts_good_clients_not_bad() {
+    let mk = |bad: bool| {
+        let mut s = Scenario::new("rtt", 4.0, Mode::Auction);
+        for i in 1..=3u64 {
+            let p = if bad {
+                ClientProfile::bad()
+            } else {
+                ClientProfile::good()
+            };
+            s.add_clients(
+                3,
+                ClientSpec::lan(p).delay(SimDuration::from_millis(50 * i)),
+            );
+        }
+        s.duration(SimDuration::from_secs(60))
+    };
+    let good = speakup_exp::run(&mk(false));
+    let bad = speakup_exp::run(&mk(true));
+    let spread = |r: &speakup_exp::RunReport| {
+        let mut cat = [0u64; 3];
+        for (i, pc) in r.per_client.iter().enumerate() {
+            cat[i / 3] += pc.served;
+        }
+        let tot: u64 = cat.iter().sum();
+        (cat[0] as f64 / tot as f64, cat[2] as f64 / tot as f64)
+    };
+    let (g_short, g_long) = spread(&good);
+    let (b_short, b_long) = spread(&bad);
+    // Good: the short-RTT rung does no worse than the long-RTT rung
+    // (paper: shorter RTT pays faster). Bad: roughly flat.
+    assert!(
+        g_short >= g_long - 0.05,
+        "good short {g_short} vs long {g_long}"
+    );
+    // Paper's bound: nobody below half or above double the ideal.
+    for v in [g_short, g_long, b_short, b_long] {
+        assert!((0.33 / 2.0..=0.67).contains(&v), "share {v} out of range");
+    }
+}

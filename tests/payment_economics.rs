@@ -1,0 +1,103 @@
+//! Integration: the currency works like §3.3/§7.3 says — prices emerge,
+//! stay under the (G+B)/c bound, fall when capacity rises, and the
+//! payment-time latency cost behaves like Figure 4.
+
+use speakup_core::client::ClientProfile;
+use speakup_exp::scenario::{ClientSpec, Mode, Scenario};
+use speakup_exp::RunReport;
+use speakup_net::time::SimDuration;
+
+fn run(c: f64) -> (Scenario, RunReport) {
+    let mut s = Scenario::new(format!("pay c={c}"), c, Mode::Auction);
+    s.add_clients(5, ClientSpec::lan(ClientProfile::good()));
+    s.add_clients(5, ClientSpec::lan(ClientProfile::bad()));
+    let s = s.duration(SimDuration::from_secs(30));
+    let r = speakup_exp::run(&s);
+    (s, r)
+}
+
+#[test]
+fn price_stays_below_upper_bound() {
+    let (s, r) = run(20.0);
+    let ub = s.price_upper_bound();
+    assert!(r.price_good.len() > 10);
+    assert!(
+        r.price_good.mean() <= ub,
+        "good price {} above bound {ub}",
+        r.price_good.mean()
+    );
+    assert!(
+        r.price_bad.mean() <= ub * 1.1, // bad may overpay slightly
+        "bad price {} way above bound {ub}",
+        r.price_bad.mean()
+    );
+    // But the price is real: a meaningful fraction of the bound.
+    assert!(
+        r.price_good.mean() > 0.2 * ub,
+        "price {} suspiciously low vs bound {ub}",
+        r.price_good.mean()
+    );
+}
+
+#[test]
+fn price_falls_as_capacity_rises() {
+    let (_, scarce) = run(10.0);
+    let (_, ample) = run(40.0);
+    assert!(
+        scarce.price_good.mean() > 1.5 * ample.price_good.mean(),
+        "price should fall with capacity: {} vs {}",
+        scarce.price_good.mean(),
+        ample.price_good.mean()
+    );
+}
+
+#[test]
+fn payment_time_falls_as_capacity_rises() {
+    let (_, scarce) = run(10.0);
+    let (_, ample) = run(40.0);
+    let t_scarce = scarce.good.payment_time.mean();
+    let t_ample = ample.good.payment_time.mean();
+    assert!(
+        t_scarce > t_ample,
+        "payment time should fall with capacity: {t_scarce} vs {t_ample}"
+    );
+}
+
+#[test]
+fn payment_bytes_flow_only_under_speakup() {
+    let (_, on) = run(20.0);
+    assert!(on.payment_bytes_total > 1_000_000);
+
+    let mut s = Scenario::new("off", 20.0, Mode::Off);
+    s.add_clients(5, ClientSpec::lan(ClientProfile::good()));
+    s.add_clients(5, ClientSpec::lan(ClientProfile::bad()));
+    let off = speakup_exp::run(&s.duration(SimDuration::from_secs(20)));
+    assert_eq!(off.payment_bytes_total, 0);
+}
+
+#[test]
+fn ninetieth_percentile_payment_time_exceeds_mean() {
+    let (_, r) = run(10.0);
+    let mut t = r.good.payment_time.clone();
+    assert!(t.len() > 10);
+    assert!(t.percentile(90.0) >= t.mean() * 0.9);
+}
+
+#[test]
+fn aggregate_payment_respects_aggregate_bandwidth() {
+    // Total payment bytes over the run cannot exceed what the access
+    // links could physically carry.
+    let (s, r) = run(10.0);
+    let capacity_bytes = (s.good_bandwidth_bps() + s.bad_bandwidth_bps()) as f64 / 8.0 * 30.0;
+    assert!(
+        (r.payment_bytes_total as f64) < capacity_bytes,
+        "payment {} exceeds physical capacity {capacity_bytes}",
+        r.payment_bytes_total
+    );
+    // ... and under full contention it should use a good chunk of it.
+    assert!(
+        (r.payment_bytes_total as f64) > 0.25 * capacity_bytes,
+        "payment {} suspiciously small vs capacity {capacity_bytes}",
+        r.payment_bytes_total
+    );
+}

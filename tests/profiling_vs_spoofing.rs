@@ -1,0 +1,71 @@
+//! Integration: the §8.1 taxonomy argument. Detect-and-block wins against
+//! honest identities and loses to spoofing; speak-up doesn't care.
+
+use speakup_exp::scenario::Mode;
+use speakup_exp::scenarios::profiling_comparison;
+use speakup_net::time::SimDuration;
+
+fn run(mode: Mode, spoof: bool) -> speakup_exp::RunReport {
+    speakup_exp::run(&profiling_comparison(mode, spoof).duration(SimDuration::from_secs(30)))
+}
+
+const PROFILE: Mode = Mode::Profile { allowed_rate: 3.0 };
+
+#[test]
+fn profiling_crushes_honest_bots() {
+    let r = run(PROFILE, false);
+    // Bad clients ask for 40/s each but are rate-limited to 3/s; good
+    // clients (λ=2) fit inside the profile.
+    assert!(
+        r.good_fraction() > 0.3,
+        "profiling should hold bad clients near their allowance: {}",
+        r.good_fraction()
+    );
+    assert!(
+        r.good_served_fraction() > 0.8,
+        "good clients fit the profile: {}",
+        r.good_served_fraction()
+    );
+    assert!(r.thinner_drops > 100, "bad excess must be blocked");
+}
+
+#[test]
+fn spoofing_defeats_profiling() {
+    let honest = run(PROFILE, false);
+    let spoofed = run(PROFILE, true);
+    assert!(
+        spoofed.good_fraction() < honest.good_fraction() * 0.6,
+        "fresh identities should sail through the rate limiter: {} vs {}",
+        spoofed.good_fraction(),
+        honest.good_fraction()
+    );
+}
+
+#[test]
+fn speakup_is_indifferent_to_spoofing() {
+    let honest = run(Mode::Auction, false);
+    let spoofed = run(Mode::Auction, true);
+    // The auction charges bandwidth per request; identity games change
+    // nothing material.
+    assert!(
+        (honest.good_fraction() - spoofed.good_fraction()).abs() < 0.1,
+        "speak-up allocation moved under spoofing: {} vs {}",
+        honest.good_fraction(),
+        spoofed.good_fraction()
+    );
+    assert!(spoofed.good_fraction() > 0.3);
+}
+
+#[test]
+fn spoofing_attackers_prefer_profiling_targets() {
+    // The cross comparison the paper implies: against spoofing attackers,
+    // a speak-up thinner protects the good clients better than a profiler.
+    let profiled = run(PROFILE, true);
+    let auctioned = run(Mode::Auction, true);
+    assert!(
+        auctioned.good_fraction() > profiled.good_fraction(),
+        "speak-up should beat profiling under spoofing: {} vs {}",
+        auctioned.good_fraction(),
+        profiled.good_fraction()
+    );
+}

@@ -1,0 +1,63 @@
+//! Integration: the §3.2 variant (random drops + aggressive retries)
+//! also implements the design goal, with the price denominated in
+//! retries.
+
+use speakup_core::client::ClientProfile;
+use speakup_exp::scenario::{ClientSpec, Mode, Scenario};
+use speakup_net::time::SimDuration;
+
+fn attack(mode: Mode) -> Scenario {
+    let mut s = Scenario::new(format!("retry {mode:?}"), 20.0, mode);
+    s.add_clients(5, ClientSpec::lan(ClientProfile::good()));
+    s.add_clients(5, ClientSpec::lan(ClientProfile::bad()));
+    s.duration(SimDuration::from_secs(30))
+}
+
+#[test]
+fn retries_restore_rough_proportionality() {
+    let off = speakup_exp::run(&attack(Mode::Off));
+    let retry = speakup_exp::run(&attack(Mode::Retry));
+    assert!(
+        retry.good_fraction() > 2.0 * off.good_fraction(),
+        "retries must beat the baseline: {} vs {}",
+        retry.good_fraction(),
+        off.good_fraction()
+    );
+    assert!(
+        (0.3..=0.7).contains(&retry.good_fraction()),
+        "roughly proportional: {}",
+        retry.good_fraction()
+    );
+}
+
+#[test]
+fn retry_mode_keeps_server_busy() {
+    let r = speakup_exp::run(&attack(Mode::Retry));
+    assert!(
+        r.server_utilization > 0.8,
+        "p-admission shouldn't idle the server much: {}",
+        r.server_utilization
+    );
+}
+
+#[test]
+fn retry_payment_is_in_band_and_bandwidth_bounded() {
+    // Both mechanisms make clients spend their bandwidth — that's the
+    // point. The retry stream just denominates it in request-sized
+    // messages instead of dummy-byte POSTs.
+    let r = speakup_exp::run(&attack(Mode::Retry));
+    assert!(r.payment_bytes_total > 1_000_000);
+    // Physical ceiling: 10 clients x 2 Mbit/s x 30 s of payload.
+    let ceiling = 10.0 * 2_000_000.0 / 8.0 * 30.0;
+    assert!(
+        (r.payment_bytes_total as f64) < ceiling,
+        "payment {} exceeds the access links' capacity {ceiling}",
+        r.payment_bytes_total
+    );
+    // The emergent price is real: multiple retries per admission.
+    assert!(
+        r.price_good.mean() > 2.0 * 400.0,
+        "price {} should be several retries' worth of bytes",
+        r.price_good.mean()
+    );
+}

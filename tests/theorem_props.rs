@@ -1,0 +1,92 @@
+//! Property tests on Theorem 3.1's guarantee and the §3.1 formulas:
+//! no adversary schedule the generator can produce pushes a continuous
+//! ε-bidder below ε/(2−ε), and the analytical formulas respect their
+//! algebraic identities.
+
+use proptest::prelude::*;
+use speakup_core::analysis::{
+    ideal_good_service, ideal_provisioning, play_auction_game, proportional_share, theorem_bound,
+    AdversaryStrategy,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_adversaries_respect_the_floor(
+        eps in 0.02f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let o = play_auction_game(eps, 30_000, &AdversaryStrategy::Random { seed });
+        let floor = theorem_bound(eps);
+        prop_assert!(
+            o.x_fraction >= floor * 0.97,
+            "eps={eps} seed={seed}: {} < {floor}", o.x_fraction
+        );
+    }
+
+    #[test]
+    fn bursty_adversaries_respect_the_floor(
+        eps in 0.02f64..0.9,
+        period in 1usize..50,
+    ) {
+        let o = play_auction_game(eps, 30_000, &AdversaryStrategy::Bursty { period });
+        let floor = theorem_bound(eps);
+        prop_assert!(
+            o.x_fraction >= floor * 0.97,
+            "eps={eps} period={period}: {} < {floor}", o.x_fraction
+        );
+    }
+
+    #[test]
+    fn just_enough_respects_but_approaches_the_floor(eps in 0.05f64..0.9) {
+        let o = play_auction_game(eps, 50_000, &AdversaryStrategy::JustEnough);
+        let floor = theorem_bound(eps);
+        prop_assert!(o.x_fraction >= floor * 0.97);
+        // The pessimal adversary keeps X well below its proportional share
+        // eps and in the floor's neighbourhood (the discrete game can sit a
+        // couple of steps above the continuous bound).
+        prop_assert!(
+            o.x_fraction <= (floor * 1.8 + 0.02).min(eps + 0.02),
+            "eps={eps}: {} far above floor {floor} — bound not tight?", o.x_fraction
+        );
+    }
+
+    #[test]
+    fn bound_is_monotone_and_within_eps(eps in 0.0f64..1.0) {
+        let b = theorem_bound(eps);
+        prop_assert!(b >= eps / 2.0 - 1e-12);
+        prop_assert!(b <= eps + 1e-12);
+    }
+
+    #[test]
+    fn provisioning_formula_identities(
+        g in 0.1f64..1000.0,
+        big_g in 0.1f64..1000.0,
+        big_b in 0.0f64..1000.0,
+    ) {
+        let cid = ideal_provisioning(g, big_g, big_b);
+        // At exactly cid, the proportional slice equals the demand.
+        let served = ideal_good_service(g, big_g, big_b, cid);
+        prop_assert!((served - g).abs() < 1e-6 * g.max(1.0));
+        // Above cid the demand caps service; below, proportionality does.
+        prop_assert!(ideal_good_service(g, big_g, big_b, cid * 2.0) == g);
+        let below = ideal_good_service(g, big_g, big_b, cid / 2.0);
+        prop_assert!(below <= g * (0.5 + 1e-9));
+    }
+
+    #[test]
+    fn shares_partition(big_g in 0.0f64..1e9, big_b in 0.0f64..1e9) {
+        prop_assume!(big_g + big_b > 0.0);
+        let s = proportional_share(big_g, big_b) + proportional_share(big_b, big_g);
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn x_wins_all_auctions_against_empty_adversary(
+        rounds in 1u64..5000,
+    ) {
+        let o = play_auction_game(1.0, rounds, &AdversaryStrategy::Uniform);
+        prop_assert_eq!(o.x_wins, rounds);
+    }
+}
