@@ -3,8 +3,8 @@
 //! Each benchmark runs a shortened (15 s simulated) version of the
 //! corresponding experiment and asserts its paper-shape property, so
 //! `cargo bench` both times the harness and re-validates the series. The
-//! full-length (600 s) series come from the `fig2`/`fig3`/`min_capacity`
-//! binaries in `speakup-exp`.
+//! full-length (600 s) series come from the `speakup` driver
+//! (`speakup run fig2|fig3|min_capacity`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use speakup_exp::scenario::Mode;

@@ -93,15 +93,19 @@ mod tests {
     #[test]
     fn class_report_absorbs_clients() {
         let mut report = ClassReport::default();
-        let mut s1 = ClientStats::default();
-        s1.generated = 10;
-        s1.served = 6;
-        s1.denied_backlog = 3;
-        s1.denied_dropped = 1;
+        let mut s1 = ClientStats {
+            generated: 10,
+            served: 6,
+            denied_backlog: 3,
+            denied_dropped: 1,
+            ..Default::default()
+        };
         s1.latency.push(0.5);
-        let mut s2 = ClientStats::default();
-        s2.generated = 10;
-        s2.served = 4;
+        let mut s2 = ClientStats {
+            generated: 10,
+            served: 4,
+            ..Default::default()
+        };
         s2.latency.push(1.5);
         report.absorb(&s1);
         report.absorb(&s2);

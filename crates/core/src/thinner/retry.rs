@@ -143,7 +143,7 @@ impl RetryFrontEnd {
                 (1.0 - self.cfg.alpha) * self.rate_estimate + self.cfg.alpha * rate
             };
             self.bucket_count = 0;
-            self.bucket_started = self.bucket_started + bucket;
+            self.bucket_started += bucket;
         }
     }
 
@@ -372,7 +372,7 @@ mod tests {
         let mut out = Vec::new();
         let mut admissions = 0u64;
         let mut clock_ms = 0u64;
-        let mut step = |f: &mut RetryFrontEnd, clock_ms: u64, out: &mut Vec<Directive>| -> u64 {
+        let step = |f: &mut RetryFrontEnd, clock_ms: u64, out: &mut Vec<Directive>| -> u64 {
             f.on_payment(t(clock_ms), key(2, 1), 100, out);
             let mut n = 0;
             for d in out.drain(..) {

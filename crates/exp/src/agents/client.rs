@@ -249,13 +249,13 @@ impl App for ClientAgent {
     fn on_message(&mut self, ctx: &mut Ctx, _flow: FlowId, tag: u64) {
         let (kind, id) = unpack(tag);
         match kind {
-            Kind::Encourage => {
-                if self.tracker.outstanding(id).is_some() && !self.channels.contains_key(&id) {
-                    match self.mode {
-                        PaymentMode::None => {}
-                        PaymentMode::Posts => self.start_post(ctx, id),
-                        PaymentMode::Retries => self.start_retries(ctx, id),
-                    }
+            Kind::Encourage
+                if self.tracker.outstanding(id).is_some() && !self.channels.contains_key(&id) =>
+            {
+                match self.mode {
+                    PaymentMode::None => {}
+                    PaymentMode::Posts => self.start_post(ctx, id),
+                    PaymentMode::Retries => self.start_retries(ctx, id),
                 }
             }
             Kind::Continue => {

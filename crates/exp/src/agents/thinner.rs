@@ -208,7 +208,7 @@ impl ThinnerAgent {
             // retry mode feeds per-message payments elsewhere. Anything
             // that does arrive is processed all the same.
             if !out.is_empty() {
-                let drained: Vec<Directive> = out.drain(..).collect();
+                let drained: Vec<Directive> = std::mem::take(&mut out);
                 self.scratch = out;
                 self.execute(ctx, drained);
             } else {
@@ -233,7 +233,7 @@ impl ThinnerAgent {
         let now = ctx.now();
         let mut out = std::mem::take(&mut self.scratch);
         f(self.fe.as_mut(), now, &mut out);
-        let directives: Vec<Directive> = out.drain(..).collect();
+        let directives: Vec<Directive> = std::mem::take(&mut out);
         self.scratch = out;
         self.execute(ctx, directives);
     }
@@ -337,7 +337,7 @@ impl ThinnerAgent {
         let now = ctx.now();
         let mut out = std::mem::take(&mut self.scratch);
         let next = self.fe.on_tick(now, &mut out);
-        let directives: Vec<Directive> = out.drain(..).collect();
+        let directives: Vec<Directive> = std::mem::take(&mut out);
         self.scratch = out;
         self.execute(ctx, directives);
         if let Some(h) = self.tick_timer.take() {

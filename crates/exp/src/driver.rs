@@ -1,0 +1,514 @@
+//! The unified experiment driver behind the `speakup` binary.
+//!
+//! Replaces the twelve former one-figure binaries with two subcommands
+//! over the [`crate::registry`]:
+//!
+//! ```text
+//! speakup list [--json]
+//! speakup run <name>... | all [--secs N] [--seed N] [--seeds K] [--json]
+//! ```
+//!
+//! `run` instantiates the entry's scenario grid, runs every grid point ×
+//! seed replicate in parallel through [`crate::runner::run_all`], prints
+//! the figure's human table (from the base-seed replicate, exactly as the
+//! former binaries did), a replicate summary when `--seeds > 1`, and a
+//! machine-readable JSON report. `--json` suppresses the tables and
+//! emits only the JSON document. The argument parsing is dependency-free,
+//! absorbing what `cli.rs` used to provide for each binary.
+
+use crate::json::Json;
+use crate::registry::{registry, Entry, Kind, RunOptions};
+use crate::report::{frac, table};
+use crate::runner::{run_all, RunReport};
+use crate::scenario::Scenario;
+use speakup_net::time::SimDuration;
+use speakup_net::trace::Samples;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `speakup list`: describe every registry entry.
+    List {
+        /// Emit JSON instead of the table.
+        json: bool,
+    },
+    /// `speakup run <names>`: execute entries.
+    Run {
+        /// Entry names, already validated against the registry.
+        names: Vec<String>,
+        /// Shared run options.
+        opts: RunOptions,
+        /// Emit only JSON (no human tables).
+        json_only: bool,
+    },
+    /// `speakup help`.
+    Help,
+}
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+speakup — drive the paper's experiments from one binary
+
+USAGE:
+    speakup list [--json]
+    speakup run <name>... | all [--secs N] [--seed N] [--seeds K] [--json]
+    speakup help
+
+OPTIONS (run):
+    --secs N    simulated seconds per run (default: the entry's paper value)
+    --seed N    base RNG seed (default 0x5ea4); replicate k uses seed+k
+    --seeds K   seed replicates per grid point, run in parallel (default 1)
+    --json      print only the machine-readable JSON report
+
+Run `speakup list` for the experiment names and their paper sections.";
+
+/// Parse a command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => {
+            let mut json = false;
+            for a in it {
+                match a.as_str() {
+                    "--json" => json = true,
+                    other => return Err(format!("unknown argument for list: {other}")),
+                }
+            }
+            Ok(Command::List { json })
+        }
+        "run" => {
+            let mut names: Vec<String> = Vec::new();
+            let mut opts = RunOptions::default();
+            let mut json_only = false;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            let num = |flag: &str, v: Option<&&String>| -> Result<u64, String> {
+                v.and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| format!("{flag} needs a number"))
+            };
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--secs" => {
+                        opts.duration =
+                            Some(SimDuration::from_secs(num("--secs", rest.get(i + 1))?));
+                        i += 2;
+                    }
+                    "--seed" => {
+                        opts.seed = num("--seed", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--seeds" => {
+                        let k = num("--seeds", rest.get(i + 1))?;
+                        if k == 0 {
+                            return Err("--seeds must be at least 1".into());
+                        }
+                        opts.seeds = k.min(u32::MAX as u64) as u32;
+                        i += 2;
+                    }
+                    "--json" => {
+                        json_only = true;
+                        i += 1;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(format!("unknown argument for run: {flag}"));
+                    }
+                    name => {
+                        names.push(name.to_string());
+                        i += 1;
+                    }
+                }
+            }
+            if names.is_empty() {
+                return Err("run needs at least one experiment name (or `all`)".into());
+            }
+            if names.iter().any(|n| n == "all") {
+                names = registry().iter().map(|e| e.name.to_string()).collect();
+            } else {
+                for n in &names {
+                    if crate::registry::find(n).is_none() {
+                        let known: Vec<&str> = registry().iter().map(|e| e.name).collect();
+                        return Err(format!(
+                            "unknown experiment {n}; known: {}",
+                            known.join(", ")
+                        ));
+                    }
+                }
+            }
+            Ok(Command::Run {
+                names,
+                opts,
+                json_only,
+            })
+        }
+        other => Err(format!("unknown subcommand {other}\n\n{USAGE}")),
+    }
+}
+
+/// Everything produced by executing one entry.
+pub struct EntryRun {
+    /// The registry entry.
+    pub entry: &'static Entry,
+    /// The instantiated grid (paper defaults overridden by options).
+    pub scenarios: Vec<Scenario>,
+    /// All reports, grid-major then seed-minor (empty for analytic).
+    pub reports: Vec<RunReport>,
+    /// Seed replicates per grid point.
+    pub seeds: u32,
+    /// The rendered human output.
+    pub table: String,
+    /// Analytic entries' extra JSON payload.
+    analytic_json: Option<Json>,
+}
+
+/// Execute one entry: instantiate its grid with the options, run every
+/// grid point × replicate in parallel, and render its tables.
+pub fn execute(entry: &'static Entry, opts: &RunOptions) -> EntryRun {
+    match entry.kind {
+        Kind::Sim { render, .. } => {
+            let duration = opts.duration_for(entry);
+            let grid = entry.build_grid();
+            let mut all: Vec<Scenario> = Vec::with_capacity(grid.len() * opts.seeds as usize);
+            for sc in &grid {
+                for k in 0..opts.seeds {
+                    let mut replicate = sc.clone();
+                    replicate.duration = duration;
+                    replicate.seed = opts.seed + k as u64;
+                    all.push(replicate);
+                }
+            }
+            let reports = run_all(&all);
+            let base: Vec<&RunReport> = reports.iter().step_by(opts.seeds as usize).collect();
+            let mut text = render(&grid, &base);
+            if opts.seeds > 1 {
+                text.push_str(&replicate_table(&reports));
+            }
+            EntryRun {
+                entry,
+                scenarios: all,
+                reports,
+                seeds: opts.seeds,
+                table: text,
+                analytic_json: None,
+            }
+        }
+        Kind::Analytic { run } => {
+            let (text, json) = run(opts);
+            EntryRun {
+                entry,
+                scenarios: Vec::new(),
+                reports: Vec::new(),
+                // Analytic entries measure once; reporting the requested
+                // replicate count would claim measurements never taken.
+                seeds: 1,
+                table: text,
+                analytic_json: Some(json),
+            }
+        }
+    }
+}
+
+/// A per-replicate summary across all runs (printed when `--seeds > 1`).
+fn replicate_table(reports: &[RunReport]) -> String {
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:#x}", r.seed),
+                r.mode.clone(),
+                frac(r.good_fraction()),
+                frac(r.good_served_fraction()),
+                frac(r.server_utilization),
+            ]
+        })
+        .collect();
+    format!(
+        "\nSeed replicates ({} runs):\n{}",
+        reports.len(),
+        table(
+            &[
+                "scenario",
+                "seed",
+                "mode",
+                "alloc good",
+                "good served",
+                "util"
+            ],
+            &rows
+        )
+    )
+}
+
+fn samples_json(s: &Samples) -> Json {
+    let mut s = s.clone();
+    if s.is_empty() {
+        return Json::obj().field("n", 0u64);
+    }
+    Json::obj()
+        .field("n", s.len())
+        .field("mean", s.mean())
+        .field("stddev", s.stddev())
+        .field("p50", s.percentile(50.0))
+        .field("p90", s.percentile(90.0))
+        .field("min", s.min())
+        .field("max", s.max())
+}
+
+fn class_json(c: &speakup_core::metrics::ClassReport) -> Json {
+    Json::obj()
+        .field("clients", c.clients)
+        .field("generated", c.generated)
+        .field("issued", c.issued)
+        .field("served", c.served)
+        .field("denied", c.denied)
+        .field("served_fraction", c.served_fraction())
+        .field("latency_s", samples_json(&c.latency))
+        .field("payment_bytes", samples_json(&c.payment_bytes))
+        .field("payment_time_s", samples_json(&c.payment_time))
+}
+
+/// Serialize one run report.
+pub fn report_json(r: &RunReport) -> Json {
+    let per_client: Vec<Json> = r
+        .per_client
+        .iter()
+        .map(|pc| {
+            Json::obj()
+                .field("generated", pc.generated)
+                .field("served", pc.served)
+                .field("denied", pc.denied)
+                .field("is_bad", pc.is_bad)
+                .field("behind_bottleneck", pc.behind_bottleneck)
+        })
+        .collect();
+    Json::obj()
+        .field("name", r.name.as_str())
+        .field("mode", r.mode.as_str())
+        .field("seed", r.seed)
+        .field("duration_s", r.duration_s)
+        .field("good", class_json(&r.good))
+        .field("bad", class_json(&r.bad))
+        .field(
+            "allocation",
+            Json::obj()
+                .field("good", r.allocation.good)
+                .field("bad", r.allocation.bad)
+                .field("good_fraction", r.good_fraction()),
+        )
+        .field(
+            "quanta",
+            Json::obj()
+                .field("good", r.quanta.good)
+                .field("bad", r.quanta.bad),
+        )
+        .field("price_good_bytes", samples_json(&r.price_good))
+        .field("price_bad_bytes", samples_json(&r.price_bad))
+        .field("server_utilization", r.server_utilization)
+        .field("payment_bytes_total", r.payment_bytes_total)
+        .field("thinner_drops", r.thinner_drops)
+        .field(
+            "wget_latencies_s",
+            match &r.wget_latencies {
+                Some(s) => samples_json(s),
+                None => Json::Null,
+            },
+        )
+        .field("per_client", per_client)
+}
+
+/// The machine-readable document for one executed entry.
+pub fn entry_json(run: &EntryRun, opts: &RunOptions) -> Json {
+    let mut doc = Json::obj()
+        .field("experiment", run.entry.name)
+        .field("section", run.entry.section)
+        .field("title", run.entry.title)
+        .field("grid", run.entry.grid)
+        .field("analytic", !run.entry.is_simulated())
+        .field("duration_s", opts.duration_for(run.entry).as_secs_f64())
+        .field("base_seed", opts.seed)
+        .field("seeds", run.seeds);
+    if let Some(extra) = &run.analytic_json {
+        doc = doc.field("analysis", extra.clone());
+    }
+    doc.field(
+        "runs",
+        run.reports.iter().map(report_json).collect::<Vec<_>>(),
+    )
+}
+
+/// The `speakup list` table.
+pub fn list_table() -> String {
+    let rows: Vec<Vec<String>> = registry()
+        .iter()
+        .map(|e| {
+            let runs = if e.is_simulated() {
+                format!("{}", e.build_grid().len())
+            } else {
+                "analytic".to_string()
+            };
+            vec![
+                e.name.to_string(),
+                e.section.to_string(),
+                runs,
+                format!("{}", e.default_secs),
+                e.grid.to_string(),
+            ]
+        })
+        .collect();
+    table(&["name", "paper", "runs", "secs", "grid"], &rows)
+}
+
+/// The `speakup list --json` document.
+pub fn list_json() -> Json {
+    Json::Arr(
+        registry()
+            .iter()
+            .map(|e| {
+                Json::obj()
+                    .field("name", e.name)
+                    .field("section", e.section)
+                    .field("title", e.title)
+                    .field("grid", e.grid)
+                    .field("default_secs", e.default_secs)
+                    .field("analytic", !e.is_simulated())
+                    .field("runs", e.build_grid().len())
+            })
+            .collect(),
+    )
+}
+
+/// Execute a parsed command, writing human output to `out` and progress
+/// to `progress` (the binary passes stdout and stderr).
+pub fn dispatch(
+    cmd: &Command,
+    out: &mut dyn std::io::Write,
+    progress: &mut dyn std::io::Write,
+) -> std::io::Result<()> {
+    match cmd {
+        Command::Help => writeln!(out, "{USAGE}"),
+        Command::List { json } => {
+            if *json {
+                write!(out, "{}", list_json().pretty())
+            } else {
+                write!(out, "{}", list_table())
+            }
+        }
+        Command::Run {
+            names,
+            opts,
+            json_only,
+        } => {
+            let mut docs = Vec::new();
+            for name in names {
+                let entry = crate::registry::find(name).expect("validated by parse");
+                if entry.is_simulated() {
+                    let n_runs = entry.build_grid().len() * opts.seeds as usize;
+                    writeln!(
+                        progress,
+                        "{name}: {n_runs} runs x {}s simulated ...",
+                        opts.duration_for(entry).as_secs_f64()
+                    )?;
+                } else {
+                    writeln!(progress, "{name}: analytic measurement ...")?;
+                }
+                let run = execute(entry, opts);
+                if !*json_only {
+                    write!(out, "{}", run.table)?;
+                }
+                docs.push(entry_json(&run, opts));
+            }
+            let doc = if docs.len() == 1 {
+                docs.pop().expect("one doc")
+            } else {
+                Json::Arr(docs)
+            };
+            if !*json_only {
+                writeln!(out, "\nJSON report:")?;
+            }
+            write!(out, "{}", doc.pretty())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_list_and_help() {
+        assert_eq!(parse(&s(&["list"])).unwrap(), Command::List { json: false });
+        assert_eq!(
+            parse(&s(&["list", "--json"])).unwrap(),
+            Command::List { json: true }
+        );
+        assert_eq!(parse(&s(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&s(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_run_flags() {
+        let cmd = parse(&s(&[
+            "run", "fig3", "--secs", "60", "--seed", "7", "--seeds", "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                names,
+                opts,
+                json_only,
+            } => {
+                assert_eq!(names, vec!["fig3"]);
+                assert_eq!(opts.duration, Some(SimDuration::from_secs(60)));
+                assert_eq!(opts.seed, 7);
+                assert_eq!(opts.seeds, 4);
+                assert!(!json_only);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_all_expands_to_registry() {
+        match parse(&s(&["run", "all", "--json"])).unwrap() {
+            Command::Run {
+                names, json_only, ..
+            } => {
+                assert_eq!(names.len(), registry().len());
+                assert!(json_only);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&s(&["run"])).is_err());
+        assert!(parse(&s(&["run", "nonesuch"])).is_err());
+        assert!(parse(&s(&["run", "fig3", "--secs"])).is_err());
+        assert!(parse(&s(&["run", "fig3", "--seeds", "0"])).is_err());
+        assert!(parse(&s(&["run", "fig3", "--frobnicate"])).is_err());
+        assert!(parse(&s(&["frobnicate"])).is_err());
+        assert!(parse(&s(&["list", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn list_table_names_every_entry() {
+        let t = list_table();
+        for e in registry() {
+            assert!(t.contains(e.name), "list missing {}", e.name);
+        }
+        let j = list_json().pretty();
+        for e in registry() {
+            assert!(j.contains(e.name), "list --json missing {}", e.name);
+        }
+    }
+}

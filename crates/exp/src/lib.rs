@@ -7,22 +7,31 @@
 //! * [`agents`] — the thinner, client, and web-bystander applications;
 //! * [`runner`] — build, run, and measure one scenario;
 //! * [`scenarios`] — ready-made builders for Figures 2–9 and §7.4;
-//! * [`report`] — text tables and ideal-line computations.
+//! * [`registry`] — every experiment as a named entry: paper section,
+//!   default duration, parameter grid, and table renderer;
+//! * [`driver`] — the `speakup` CLI (`list`, `run`) over the registry,
+//!   with parallel seed replicates and JSON reports;
+//! * [`report`] — text tables and ideal-line computations;
+//! * [`json`] — a dependency-free JSON builder for the reports.
 //!
-//! Each paper figure has a binary (`fig2` … `fig9`, `min_capacity`) that
-//! prints the regenerated series; Criterion benches in `speakup-bench`
-//! run reduced versions of the same scenarios.
+//! One binary, `speakup`, drives everything: `speakup list` names the
+//! experiments; `speakup run fig3 --secs 600 --seeds 8 --json`
+//! regenerates a figure. Criterion benches in `speakup-bench` run
+//! reduced versions of the same scenarios.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agents;
-pub mod cli;
+pub mod driver;
+pub mod json;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scenarios;
 pub mod tags;
 
+pub use registry::{Entry, RunOptions};
 pub use runner::{run, run_all, RunReport};
 pub use scenario::{BottleneckSpec, ClientSpec, Mode, Scenario, WebSpec};

@@ -1,5 +1,5 @@
 //! Plain-text report formatting: aligned tables and the paper's ideal
-//! lines, so each `figN` binary prints rows directly comparable to the
+//! lines, so the `speakup` driver prints rows directly comparable to the
 //! published plots.
 
 use crate::runner::RunReport;

@@ -1,8 +1,9 @@
 //! Ready-made scenario builders, one per paper experiment.
 //!
 //! Every builder uses the paper's parameters by default (600 s runs, 2
-//! Mbit/s access links, λ/w client profiles). Binaries run them at full
-//! length; benches shorten them with [`crate::scenario::Scenario::duration`].
+//! Mbit/s access links, λ/w client profiles). The registry runs them at
+//! full length; benches shorten them with
+//! [`crate::scenario::Scenario::duration`].
 
 use crate::scenario::{BottleneckSpec, ClientSpec, Mode, Scenario, WebSpec};
 use speakup_core::client::ClientProfile;

@@ -467,10 +467,7 @@ impl Simulator {
     pub fn run_until(&mut self, until: SimTime) {
         self.start_apps();
         self.dispatch_notifies();
-        loop {
-            let Some(t) = self.world.queue.peek_time() else {
-                break;
-            };
+        while let Some(t) = self.world.queue.peek_time() {
             if t > until {
                 break;
             }

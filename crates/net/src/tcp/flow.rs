@@ -711,7 +711,7 @@ mod tests {
         out.clear();
         f.on_ack(t(60), recover_point, &mut out);
         assert!(!f.in_recovery);
-        assert!((f.cwnd as f64 - f.ssthresh).abs() < 1.0 + MSS as f64);
+        assert!((f.cwnd - f.ssthresh).abs() < 1.0 + MSS as f64);
     }
 
     #[test]
@@ -802,8 +802,10 @@ mod tests {
 
     #[test]
     fn cwnd_capped_by_max() {
-        let mut cfg = FlowConfig::default();
-        cfg.max_cwnd_bytes = 8 * MSS;
+        let cfg = FlowConfig {
+            max_cwnd_bytes: 8 * MSS,
+            ..Default::default()
+        };
         let mut f = Flow::new(FlowId(0), NodeId(0), NodeId(1), cfg);
         let mut out = Vec::new();
         f.write(t(0), 1000 * MSS, 1, &mut out);

@@ -392,11 +392,8 @@ fn serve_get(inner: &Inner, stream: &mut TcpStream, id: u64) -> std::io::Result<
                 Verdict::Dropped => encode_dropped(),
             };
             Next::Respond(wire)
-        } else if shared.known.contains_key(&id) {
-            // Re-poll of a contending/executing request: hold until done.
-            Next::Await
-        } else {
-            shared.known.insert(id, ());
+        } else if let std::collections::hash_map::Entry::Vacant(e) = shared.known.entry(id) {
+            e.insert(());
             let mut admitted = false;
             inner.with_fe(&mut shared, |fe, now, out| {
                 fe.on_request(now, key, out);
@@ -412,6 +409,9 @@ fn serve_get(inner: &Inner, stream: &mut TcpStream, id: u64) -> std::io::Result<
                     .unwrap_or(0);
                 Next::Respond(encode_encourage(rate))
             }
+        } else {
+            // Re-poll of a contending/executing request: hold until done.
+            Next::Await
         }
     };
     match next {

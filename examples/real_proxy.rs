@@ -7,7 +7,7 @@
 use speakup_core::thinner::AuctionConfig;
 use speakup_net::time::SimDuration;
 use speakup_proxy::client::{fetch, FetchConfig};
-use speakup_proxy::{spawn, ProxyConfig, Verdict};
+use speakup_proxy::{spawn, ProxyConfig};
 
 fn main() {
     let proxy = spawn(ProxyConfig {

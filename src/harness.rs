@@ -1,0 +1,4 @@
+//! The harness package has no library of its own: it exists to own the
+//! workspace-level integration tests (`tests/`) and examples
+//! (`examples/`), which exercise every crate together.
+#![forbid(unsafe_code)]

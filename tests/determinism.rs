@@ -60,7 +60,7 @@ fn parallel_runner_matches_serial() {
 
 #[test]
 fn off_mode_is_deterministic_too() {
-    let mut mk = || {
+    let mk = || {
         let mut s = Scenario::new("det-off", 20.0, Mode::Off);
         s.add_clients(4, ClientSpec::lan(ClientProfile::bad()));
         speakup_exp::run(&s.duration(SimDuration::from_secs(10)).seed(9))

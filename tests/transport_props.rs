@@ -26,28 +26,25 @@ fn deliver_with_script(total_bytes: u64, script: &[u8]) -> (u64, u64) {
     while !f.is_drained() && steps < 100_000 {
         steps += 1;
         now_ms += 10;
-        let actions: Vec<FlowAction> = out.drain(..).collect();
+        let actions: Vec<FlowAction> = std::mem::take(&mut out);
         let mut acks = Vec::new();
         for a in actions {
-            match a {
-                FlowAction::SendData { offset, len } => {
-                    let verdict = script.get(si).copied().unwrap_or(1) % 3;
-                    si += 1;
-                    match verdict {
-                        0 => {} // dropped
-                        1 => {
-                            let mut rx = Vec::new();
-                            f.on_data(t(now_ms), offset, len, &mut rx);
-                            for r in rx {
-                                if let FlowAction::SendAck { cum } = r {
-                                    acks.push(cum);
-                                }
+            if let FlowAction::SendData { offset, len } = a {
+                let verdict = script.get(si).copied().unwrap_or(1) % 3;
+                si += 1;
+                match verdict {
+                    0 => {} // dropped
+                    1 => {
+                        let mut rx = Vec::new();
+                        f.on_data(t(now_ms), offset, len, &mut rx);
+                        for r in rx {
+                            if let FlowAction::SendAck { cum } = r {
+                                acks.push(cum);
                             }
                         }
-                        _ => held.push((offset, len)),
                     }
+                    _ => held.push((offset, len)),
                 }
-                _ => {}
             }
         }
         // Every few steps, flush the reorder buffer in reverse order.
