@@ -1,0 +1,48 @@
+//! Shard-layer performance: the same scenario run on one event loop and
+//! split over K synchronized shard loops. Results are byte-identical by
+//! construction (asserted here on a fingerprint), so the interesting
+//! number is the per-shard-count runtime: cliffs in the barrier or
+//! cross-shard exchange path show up as the K > 1 rows regressing
+//! against K = 1. CI runs this with `--quick`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speakup_core::client::ClientProfile;
+use speakup_exp::runner::{run, run_sharded};
+use speakup_exp::scenario::{ClientSpec, Mode, Scenario};
+use speakup_net::time::SimDuration;
+use std::hint::black_box;
+
+fn scenario() -> Scenario {
+    let mut s = Scenario::new("bench shard", 50.0, Mode::Auction);
+    s.add_clients(15, ClientSpec::lan(ClientProfile::good()));
+    s.add_clients(15, ClientSpec::lan(ClientProfile::bad()));
+    s.duration(SimDuration::from_secs(5))
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let baseline = run(&scenario());
+    let fingerprint = (
+        baseline.allocation.good,
+        baseline.allocation.bad,
+        baseline.payment_bytes_total,
+    );
+    let mut g = c.benchmark_group("shard_scaling");
+    g.sample_size(10);
+    for shards in [1u32, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &k| {
+            b.iter(|| {
+                let r = run_sharded(&scenario(), k);
+                assert_eq!(
+                    (r.allocation.good, r.allocation.bad, r.payment_bytes_total),
+                    fingerprint,
+                    "shard-count invariance broke under the bench scenario"
+                );
+                black_box(r.thinner_drops)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use speakup_net::link::LinkConfig;
-use speakup_net::packet::{FlowId, NodeId};
-use speakup_net::sim::{App, Ctx, Simulator};
+use speakup_net::packet::NodeId;
+use speakup_net::sim::{flow_id, App, Ctx, Simulator};
 use speakup_net::time::{SimDuration, SimTime};
 use speakup_net::topology::TopologyBuilder;
 use std::hint::black_box;
@@ -45,7 +45,7 @@ fn bench_bulk_transfer(c: &mut Criterion) {
             sim.add_app(a, Box::new(Blaster { dst: z, bytes }));
             sim.add_app(z, Box::new(Sink));
             sim.run_until(SimTime::from_secs(30));
-            let f = sim.world().flow(FlowId(0));
+            let f = sim.world().flow(flow_id(a, 0));
             assert_eq!(f.acked_bytes(), bytes);
             black_box(f.stats.segments_sent)
         })

@@ -43,8 +43,10 @@ use speakup_net::time::SimTime;
 /// The driver (simulator harness, real proxy, or test) feeds events in and
 /// executes the returned [`Directive`]s. Front ends track server busyness
 /// themselves: a request is "on the server" from the `Admit` directive
-/// until the driver calls [`FrontEnd::on_server_done`] for it.
-pub trait FrontEnd {
+/// until the driver calls [`FrontEnd::on_server_done`] for it. `Send` is
+/// a supertrait so the thinner application can live on a sharded
+/// simulator's worker threads.
+pub trait FrontEnd: Send {
     /// A new request arrived from a client.
     fn on_request(&mut self, now: SimTime, req: RequestKey, out: &mut Vec<Directive>);
 

@@ -1,0 +1,343 @@
+//! `speakup compare`: diff a fresh run against a committed golden report.
+//!
+//! A golden file is simply a saved `speakup run <name> --json` document
+//! (see `golden/` at the repo root). `compare` re-runs the experiment
+//! with the options recorded in the document (duration, base seed,
+//! replicate count), then walks both JSON trees leaf by leaf:
+//!
+//! * strings, booleans, and structure must match exactly;
+//! * numbers must agree within a per-metric tolerance chosen by the leaf
+//!   path (counts tighter than sample statistics, tail percentiles and
+//!   spreads loosest, wall-clock measurements ignored).
+//!
+//! The engine is deterministic, so on the commit that produced a golden
+//! the diff is empty; the tolerances define how much *intentional* drift
+//! a later change may introduce before CI demands the goldens be
+//! regenerated and the change justified.
+
+use crate::driver::{entry_json, execute};
+use crate::json::Json;
+use crate::registry::{self, RunOptions};
+use speakup_net::time::SimDuration;
+use std::io::Write;
+
+/// One numeric disagreement between golden and fresh reports.
+#[derive(Debug)]
+pub struct Breach {
+    /// JSON path of the leaf (e.g. `runs[3].good.served`).
+    pub path: String,
+    /// Value in the golden file.
+    pub golden: String,
+    /// Value in the fresh run.
+    pub fresh: String,
+    /// The tolerance that was exceeded, rendered for the report.
+    pub allowed: String,
+}
+
+/// Relative/absolute tolerance for a metric, selected by path substring.
+/// First match wins; `None` means the leaf is not checked at all.
+fn tolerance_for(path: &str) -> Option<(f64, f64)> {
+    // Sample counts (`latency_s.n`, `price_good_bytes.n`, ...) are
+    // counters even though their parent key matches a statistics rule.
+    if path.ends_with(".n") {
+        return Some((0.02, 0.5));
+    }
+    const RULES: &[(&str, Option<(f64, f64)>)] = &[
+        // Host wall-clock measurements (§7.1 payment sink) are not
+        // reproducible across machines.
+        ("measured_mbps", None),
+        // Spreads and tail statistics drift hardest under small changes.
+        ("stddev", Some((0.25, 1e-6))),
+        ("p90", Some((0.10, 1e-6))),
+        ("max", Some((0.10, 1e-6))),
+        ("min", Some((0.10, 1e-6))),
+        // Sample means, fractions, prices, times.
+        ("mean", Some((0.05, 1e-3))),
+        ("fraction", Some((0.0, 0.02))),
+        ("utilization", Some((0.0, 0.02))),
+        ("latency", Some((0.05, 1e-3))),
+        ("price", Some((0.05, 1e-3))),
+        ("payment", Some((0.05, 1e-3))),
+        // Everything else (counters, config echoes) must agree closely.
+        ("", Some((0.02, 0.5))),
+    ];
+    for (pat, tol) in RULES {
+        if pat.is_empty() || path.contains(pat) {
+            return *tol;
+        }
+    }
+    unreachable!("the catch-all rule matches everything")
+}
+
+fn walk(path: &str, golden: &Json, fresh: &Json, tol_scale: f64, out: &mut Vec<Breach>) {
+    // Numbers (Num and UInt compare by value).
+    if let (Some(g), Some(f)) = (golden.as_f64(), fresh.as_f64()) {
+        let Some((rel, abs)) = tolerance_for(path) else {
+            return;
+        };
+        let allowed = (abs + rel * g.abs().max(f.abs())) * tol_scale;
+        if (g - f).abs() > allowed {
+            out.push(Breach {
+                path: path.to_string(),
+                golden: format!("{g}"),
+                fresh: format!("{f}"),
+                allowed: format!("±{allowed:.6}"),
+            });
+        }
+        return;
+    }
+    match (golden, fresh) {
+        (Json::Null, Json::Null) => {}
+        (Json::Bool(g), Json::Bool(f)) if g == f => {}
+        (Json::Str(g), Json::Str(f)) if g == f => {}
+        (Json::Arr(g), Json::Arr(f)) => {
+            if g.len() != f.len() {
+                out.push(Breach {
+                    path: path.to_string(),
+                    golden: format!("array of {}", g.len()),
+                    fresh: format!("array of {}", f.len()),
+                    allowed: "equal lengths".to_string(),
+                });
+                return;
+            }
+            for (i, (gi, fi)) in g.iter().zip(f).enumerate() {
+                walk(&format!("{path}[{i}]"), gi, fi, tol_scale, out);
+            }
+        }
+        (Json::Obj(g), Json::Obj(f)) => {
+            for (k, gv) in g {
+                let sub = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                match fresh.get(k) {
+                    Some(fv) => walk(&sub, gv, fv, tol_scale, out),
+                    None => out.push(Breach {
+                        path: sub,
+                        golden: "present".to_string(),
+                        fresh: "missing".to_string(),
+                        allowed: "field exists".to_string(),
+                    }),
+                }
+            }
+            for (k, _) in f {
+                if golden.get(k).is_none() {
+                    let sub = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    out.push(Breach {
+                        path: sub,
+                        golden: "missing".to_string(),
+                        fresh: "present".to_string(),
+                        allowed: "field exists".to_string(),
+                    });
+                }
+            }
+        }
+        _ => out.push(Breach {
+            path: path.to_string(),
+            golden: type_name(golden).to_string(),
+            fresh: type_name(fresh).to_string(),
+            allowed: "same type and value".to_string(),
+        }),
+    }
+}
+
+fn type_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) | Json::UInt(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+/// Compare a golden document against a freshly generated one. Returns
+/// the list of breaches (empty means the reports agree).
+pub fn diff(golden: &Json, fresh: &Json, tol_scale: f64) -> Vec<Breach> {
+    let mut out = Vec::new();
+    walk("", golden, fresh, tol_scale, &mut out);
+    out
+}
+
+/// The run options a golden document was produced with.
+pub fn options_of(golden: &Json) -> Result<(&'static registry::Entry, RunOptions), String> {
+    let name = golden
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("golden file has no \"experiment\" field")?;
+    let entry =
+        registry::find(name).ok_or_else(|| format!("unknown experiment {name:?} in golden"))?;
+    let duration = golden
+        .get("duration_s")
+        .and_then(Json::as_f64)
+        .ok_or("golden file has no \"duration_s\"")?;
+    let seed = golden
+        .get("base_seed")
+        .and_then(Json::as_u64)
+        .ok_or("golden file has no \"base_seed\"")?;
+    let seeds = golden
+        .get("seeds")
+        .and_then(Json::as_u64)
+        .filter(|&k| k >= 1)
+        .ok_or("golden file needs \"seeds\" >= 1")?
+        .min(u32::MAX as u64) as u32;
+    Ok((
+        entry,
+        RunOptions {
+            duration: Some(SimDuration::from_secs_f64(duration)),
+            seed,
+            seeds,
+            jobs: None,
+            shards: 1,
+        },
+    ))
+}
+
+/// Load `path`, re-run its experiment, and report the diff on `out`.
+/// Returns `Ok(true)` when the reports agree within tolerance.
+pub fn compare_file(
+    path: &str,
+    tol_scale: f64,
+    jobs: Option<usize>,
+    shards: u32,
+    out: &mut dyn Write,
+    progress: &mut dyn Write,
+) -> std::io::Result<bool> {
+    let text = std::fs::read_to_string(path)?;
+    let golden = Json::parse(&text).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{path}: not valid JSON: {e}"),
+        )
+    })?;
+    let (entry, mut opts) =
+        options_of(&golden).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    opts.jobs = jobs;
+    opts.shards = shards;
+    writeln!(
+        progress,
+        "compare {path}: re-running {} ({} x {}s, seed {:#x}) ...",
+        entry.name,
+        entry.build_grid().len() * opts.seeds as usize,
+        opts.duration_for(entry).as_secs_f64(),
+        opts.seed,
+    )?;
+    let run = execute(entry, &opts);
+    let fresh = entry_json(&run, &opts);
+    let breaches = diff(&golden, &fresh, tol_scale);
+    if breaches.is_empty() {
+        writeln!(out, "{path}: OK ({} within tolerance)", entry.name)?;
+        return Ok(true);
+    }
+    writeln!(
+        out,
+        "{path}: {} metric(s) outside tolerance for {}:",
+        breaches.len(),
+        entry.name
+    )?;
+    for b in breaches.iter().take(50) {
+        writeln!(
+            out,
+            "  {}: golden {} vs fresh {} (allowed {})",
+            b.path, b.golden, b.fresh, b.allowed
+        )?;
+    }
+    if breaches.len() > 50 {
+        writeln!(out, "  ... and {} more", breaches.len() - 50)?;
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_documents_have_no_breaches() {
+        let doc = Json::obj()
+            .field("experiment", "fig2")
+            .field("runs", vec![Json::obj().field("good", 10u64)]);
+        assert!(diff(&doc, &doc.clone(), 1.0).is_empty());
+    }
+
+    #[test]
+    fn counters_breach_outside_two_percent() {
+        let golden = Json::obj().field("served", 100u64);
+        let close = Json::obj().field("served", 101u64);
+        let far = Json::obj().field("served", 110u64);
+        assert!(diff(&golden, &close, 1.0).is_empty());
+        let breaches = diff(&golden, &far, 1.0);
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].path, "served");
+    }
+
+    #[test]
+    fn fractions_use_absolute_tolerance() {
+        let golden = Json::obj().field("good_fraction", 0.50);
+        let close = Json::obj().field("good_fraction", 0.515);
+        let far = Json::obj().field("good_fraction", 0.54);
+        assert!(diff(&golden, &close, 1.0).is_empty());
+        assert_eq!(diff(&golden, &far, 1.0).len(), 1);
+        // A larger scale admits the drift.
+        assert!(diff(&golden, &far, 3.0).is_empty());
+    }
+
+    #[test]
+    fn sample_counts_use_the_counter_tolerance() {
+        let stats = |n: u64, mean: f64| {
+            Json::obj().field("latency_s", Json::obj().field("n", n).field("mean", mean))
+        };
+        // 4% drift: fine for the mean (5% statistics rule), a breach for
+        // the sample count (2% counter rule) despite the `latency` key.
+        let breaches = diff(&stats(1000, 1.0), &stats(1040, 1.04), 1.0);
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].path, "latency_s.n");
+    }
+
+    #[test]
+    fn wall_clock_measurements_are_ignored() {
+        let golden = Json::obj().field("measured_mbps", 1000.0);
+        let fresh = Json::obj().field("measured_mbps", 250.0);
+        assert!(diff(&golden, &fresh, 1.0).is_empty());
+    }
+
+    #[test]
+    fn structure_mismatches_are_breaches() {
+        let golden = Json::obj().field("a", 1u64).field("b", "x");
+        let missing = Json::obj().field("a", 1u64);
+        let wrong_type = Json::obj().field("a", 1u64).field("b", true);
+        assert_eq!(diff(&golden, &missing, 1.0).len(), 1);
+        assert_eq!(diff(&golden, &wrong_type, 1.0).len(), 1);
+        let short = Json::obj().field("r", vec![Json::UInt(1)]);
+        let long = Json::obj().field("r", vec![Json::UInt(1), Json::UInt(2)]);
+        assert_eq!(diff(&short, &long, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn options_round_trip_from_golden_header() {
+        let golden = Json::obj()
+            .field("experiment", "fig2")
+            .field("duration_s", 30.0)
+            .field("base_seed", 0x5ea4u64)
+            .field("seeds", 1u32);
+        let (entry, opts) = options_of(&golden).expect("valid header");
+        assert_eq!(entry.name, "fig2");
+        assert_eq!(opts.duration, Some(SimDuration::from_secs(30)));
+        assert_eq!(opts.seed, 0x5ea4);
+        assert_eq!(opts.seeds, 1);
+        assert!(options_of(&Json::obj().field("experiment", "nope")).is_err());
+        // Corrupt replicate counts must error, not panic downstream.
+        let zero_seeds = Json::obj()
+            .field("experiment", "fig2")
+            .field("duration_s", 30.0)
+            .field("base_seed", 1u64)
+            .field("seeds", 0u64);
+        assert!(options_of(&zero_seeds).is_err());
+    }
+}

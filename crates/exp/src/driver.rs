@@ -1,25 +1,30 @@
 //! The unified experiment driver behind the `speakup` binary.
 //!
-//! Replaces the twelve former one-figure binaries with two subcommands
-//! over the [`crate::registry`]:
+//! Replaces the twelve former one-figure binaries with subcommands over
+//! the [`crate::registry`]:
 //!
 //! ```text
 //! speakup list [--json]
-//! speakup run <name>... | all [--secs N] [--seed N] [--seeds K] [--json]
+//! speakup run <name>... | all [--secs N] [--seed N] [--seeds K]
+//!             [--jobs N] [--shards K] [--json]
+//! speakup compare <golden.json>... [--tol X]
 //! ```
 //!
-//! `run` instantiates the entry's scenario grid, runs every grid point ×
-//! seed replicate in parallel through [`crate::runner::run_all`], prints
-//! the figure's human table (from the base-seed replicate, exactly as the
-//! former binaries did), a replicate summary when `--seeds > 1`, and a
-//! machine-readable JSON report. `--json` suppresses the tables and
-//! emits only the JSON document. The argument parsing is dependency-free,
-//! absorbing what `cli.rs` used to provide for each binary.
+//! `run` instantiates the entry's scenario grid and drives every grid
+//! point × seed replicate through the worker pool
+//! ([`crate::runner::run_all_pooled`]), each run optionally split over
+//! `--shards K` synchronized event loops. It prints the figure's human
+//! table (mean ± 95% CI across replicates when `--seeds > 1`), a
+//! per-replicate summary, and a machine-readable JSON report; `--json`
+//! suppresses the tables. `compare` re-runs a committed golden report
+//! and diffs it with per-metric tolerances ([`crate::compare`]). The
+//! argument parsing is dependency-free, absorbing what `cli.rs` used to
+//! provide for each binary.
 
 use crate::json::Json;
 use crate::registry::{registry, Entry, Kind, RunOptions};
-use crate::report::{frac, table};
-use crate::runner::{run_all, RunReport};
+use crate::report::{frac, table, Reps};
+use crate::runner::{default_jobs, run_all_pooled, RunReport};
 use crate::scenario::Scenario;
 use speakup_net::time::SimDuration;
 use speakup_net::trace::Samples;
@@ -41,6 +46,18 @@ pub enum Command {
         /// Emit only JSON (no human tables).
         json_only: bool,
     },
+    /// `speakup compare <golden.json>...`: re-run and diff against
+    /// committed golden reports.
+    Compare {
+        /// Golden report paths.
+        paths: Vec<String>,
+        /// Tolerance scale factor.
+        tol_scale: f64,
+        /// Worker pool size override.
+        jobs: Option<usize>,
+        /// Shard count for the re-runs.
+        shards: u32,
+    },
     /// `speakup help`.
     Help,
 }
@@ -51,16 +68,54 @@ speakup — drive the paper's experiments from one binary
 
 USAGE:
     speakup list [--json]
-    speakup run <name>... | all [--secs N] [--seed N] [--seeds K] [--json]
+    speakup run <name>... | all [--secs N] [--seed N] [--seeds K]
+                [--jobs N] [--shards K] [--json]
+    speakup compare <golden.json>... [--tol X] [--jobs N] [--shards K]
     speakup help
 
 OPTIONS (run):
     --secs N    simulated seconds per run (default: the entry's paper value)
     --seed N    base RNG seed (default 0x5ea4); replicate k uses seed+k
-    --seeds K   seed replicates per grid point, run in parallel (default 1)
+    --seeds K   seed replicates per grid point (default 1); with K > 1 the
+                figure tables report mean ± 95% CI across replicates
+    --jobs N    worker pool size for grid points × replicates
+                (default: available cores / shards)
+    --shards K  shard event loops per run: the client population splits
+                across K synchronized loops (default 1). Reports are
+                byte-identical for every K; only wall-clock time changes.
     --json      print only the machine-readable JSON report
 
+OPTIONS (compare):
+    --tol X     scale every per-metric tolerance by X (default 1)
+
 Run `speakup list` for the experiment names and their paper sections.";
+
+/// A flag's numeric argument (any value).
+fn flag_num(flag: &str, v: Option<&&String>) -> Result<u64, String> {
+    v.and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| format!("{flag} needs a number"))
+}
+
+/// A flag's numeric argument, required to be at least 1.
+fn flag_positive(flag: &str, v: Option<&&String>) -> Result<u64, String> {
+    flag_num(flag, v).and_then(|n| {
+        if n == 0 {
+            Err(format!("{flag} must be at least 1"))
+        } else {
+            Ok(n)
+        }
+    })
+}
+
+/// `--jobs N`: shared by the run and compare subcommands.
+fn parse_jobs(v: Option<&&String>) -> Result<usize, String> {
+    Ok(flag_positive("--jobs", v)?.min(usize::MAX as u64) as usize)
+}
+
+/// `--shards K`: shared by the run and compare subcommands.
+fn parse_shards(v: Option<&&String>) -> Result<u32, String> {
+    Ok(flag_positive("--shards", v)?.min(u32::MAX as u64) as u32)
+}
 
 /// Parse a command line (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, String> {
@@ -87,27 +142,28 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut json_only = false;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
-            let num = |flag: &str, v: Option<&&String>| -> Result<u64, String> {
-                v.and_then(|s| s.parse::<u64>().ok())
-                    .ok_or_else(|| format!("{flag} needs a number"))
-            };
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--secs" => {
                         opts.duration =
-                            Some(SimDuration::from_secs(num("--secs", rest.get(i + 1))?));
+                            Some(SimDuration::from_secs(flag_num("--secs", rest.get(i + 1))?));
                         i += 2;
                     }
                     "--seed" => {
-                        opts.seed = num("--seed", rest.get(i + 1))?;
+                        opts.seed = flag_num("--seed", rest.get(i + 1))?;
                         i += 2;
                     }
                     "--seeds" => {
-                        let k = num("--seeds", rest.get(i + 1))?;
-                        if k == 0 {
-                            return Err("--seeds must be at least 1".into());
-                        }
+                        let k = flag_positive("--seeds", rest.get(i + 1))?;
                         opts.seeds = k.min(u32::MAX as u64) as u32;
+                        i += 2;
+                    }
+                    "--jobs" => {
+                        opts.jobs = Some(parse_jobs(rest.get(i + 1))?);
+                        i += 2;
+                    }
+                    "--shards" => {
+                        opts.shards = parse_shards(rest.get(i + 1))?;
                         i += 2;
                     }
                     "--json" => {
@@ -145,6 +201,50 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 json_only,
             })
         }
+        "compare" => {
+            let mut paths = Vec::new();
+            let mut tol_scale = 1.0f64;
+            let mut jobs = None;
+            let mut shards = 1u32;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--tol" => {
+                        tol_scale = rest
+                            .get(i + 1)
+                            .and_then(|s| s.parse::<f64>().ok())
+                            .filter(|v| *v > 0.0)
+                            .ok_or("--tol needs a positive number")?;
+                        i += 2;
+                    }
+                    "--jobs" => {
+                        jobs = Some(parse_jobs(rest.get(i + 1))?);
+                        i += 2;
+                    }
+                    "--shards" => {
+                        shards = parse_shards(rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(format!("unknown argument for compare: {flag}"));
+                    }
+                    p => {
+                        paths.push(p.to_string());
+                        i += 1;
+                    }
+                }
+            }
+            if paths.is_empty() {
+                return Err("compare needs at least one golden report path".into());
+            }
+            Ok(Command::Compare {
+                paths,
+                tol_scale,
+                jobs,
+                shards,
+            })
+        }
         other => Err(format!("unknown subcommand {other}\n\n{USAGE}")),
     }
 }
@@ -166,7 +266,8 @@ pub struct EntryRun {
 }
 
 /// Execute one entry: instantiate its grid with the options, run every
-/// grid point × replicate in parallel, and render its tables.
+/// grid point × replicate through the worker pool (each run split over
+/// `opts.shards` event loops), and render its tables.
 pub fn execute(entry: &'static Entry, opts: &RunOptions) -> EntryRun {
     match entry.kind {
         Kind::Sim { render, .. } => {
@@ -181,9 +282,10 @@ pub fn execute(entry: &'static Entry, opts: &RunOptions) -> EntryRun {
                     all.push(replicate);
                 }
             }
-            let reports = run_all(&all);
-            let base: Vec<&RunReport> = reports.iter().step_by(opts.seeds as usize).collect();
-            let mut text = render(&grid, &base);
+            let jobs = opts.jobs.unwrap_or_else(|| default_jobs(opts.shards));
+            let reports = run_all_pooled(&all, jobs, opts.shards);
+            let groups: Vec<Reps> = reports.chunks(opts.seeds as usize).map(Reps).collect();
+            let mut text = render(&grid, &groups);
             if opts.seeds > 1 {
                 text.push_str(&replicate_table(&reports));
             }
@@ -432,6 +534,27 @@ pub fn dispatch(
             }
             write!(out, "{}", doc.pretty())
         }
+        Command::Compare {
+            paths,
+            tol_scale,
+            jobs,
+            shards,
+        } => {
+            let mut failures = 0usize;
+            for path in paths {
+                let ok =
+                    crate::compare::compare_file(path, *tol_scale, *jobs, *shards, out, progress)?;
+                if !ok {
+                    failures += 1;
+                }
+            }
+            if failures > 0 {
+                return Err(std::io::Error::other(format!(
+                    "{failures} golden comparison(s) failed"
+                )));
+            }
+            Ok(())
+        }
     }
 }
 
@@ -487,6 +610,44 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_jobs_shards_and_compare() {
+        match parse(&s(&["run", "fig3", "--jobs", "2", "--shards", "4"])).unwrap() {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.jobs, Some(2));
+                assert_eq!(opts.shards, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&s(&[
+            "compare",
+            "golden/fig2.json",
+            "--tol",
+            "2.5",
+            "--shards",
+            "2",
+        ]))
+        .unwrap()
+        {
+            Command::Compare {
+                paths,
+                tol_scale,
+                shards,
+                ..
+            } => {
+                assert_eq!(paths, vec!["golden/fig2.json"]);
+                assert!((tol_scale - 2.5).abs() < 1e-12);
+                assert_eq!(shards, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&s(&["run", "fig3", "--shards", "0"])).is_err());
+        assert!(parse(&s(&["run", "fig3", "--jobs", "0"])).is_err());
+        assert!(parse(&s(&["compare"])).is_err());
+        assert!(parse(&s(&["compare", "x.json", "--frobnicate"])).is_err());
+        assert!(parse(&s(&["compare", "x.json", "--tol", "-1"])).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod agents;
+pub mod compare;
 pub mod driver;
 pub mod json;
 pub mod registry;
@@ -33,5 +34,5 @@ pub mod scenarios;
 pub mod tags;
 
 pub use registry::{Entry, RunOptions};
-pub use runner::{run, run_all, RunReport};
+pub use runner::{run, run_all, run_all_pooled, run_sharded, RunReport};
 pub use scenario::{BottleneckSpec, ClientSpec, Mode, Scenario, WebSpec};

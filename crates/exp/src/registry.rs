@@ -14,7 +14,7 @@
 //!   Theorem 3.1 auction game, the §7.1 payment-sink throughput).
 
 use crate::json::Json;
-use crate::report::{frac, kbytes, secs, table};
+use crate::report::{count_est, frac, frac_est, kbytes, kbytes_est, secs_est, table, Est, Reps};
 use crate::runner::RunReport;
 use crate::scenario::{Mode, Scenario};
 use crate::scenarios;
@@ -27,8 +27,14 @@ pub struct RunOptions {
     pub duration: Option<SimDuration>,
     /// Base RNG seed; replicate `k` runs with `seed + k`.
     pub seed: u64,
-    /// Seed replicates per grid point (≥ 1).
+    /// Seed replicates per grid point (≥ 1). With more than one, figure
+    /// tables report mean ± 95% CI across the replicates.
     pub seeds: u32,
+    /// Worker pool size; `None` sizes it to the host
+    /// (`available_parallelism / shards`).
+    pub jobs: Option<usize>,
+    /// Shard event loops per run (split client populations).
+    pub shards: u32,
 }
 
 impl Default for RunOptions {
@@ -37,6 +43,8 @@ impl Default for RunOptions {
             duration: None,
             seed: 0x5ea4,
             seeds: 1,
+            jobs: None,
+            shards: 1,
         }
     }
 }
@@ -52,11 +60,12 @@ impl RunOptions {
 /// How an entry produces its results.
 pub(crate) enum Kind {
     /// A grid of simulator scenarios plus a table renderer. The renderer
-    /// receives the grid (paper-default scenarios, in grid order) and the
-    /// base-seed replicate of each grid point's report.
+    /// receives the grid (paper-default scenarios, in grid order) and,
+    /// per grid point, all of its seed replicates (base seed first);
+    /// scalar cells render as mean ± 95% CI when replicated.
     Sim {
         build: fn() -> Vec<Scenario>,
-        render: fn(&[Scenario], &[&RunReport]) -> String,
+        render: fn(&[Scenario], &[Reps]) -> String,
     },
     /// A direct measurement: returns the human table and JSON rows.
     Analytic {
@@ -261,15 +270,15 @@ fn build_fig2() -> Vec<Scenario> {
     scens
 }
 
-fn render_fig2(_scens: &[Scenario], reports: &[&RunReport]) -> String {
+fn render_fig2(_scens: &[Scenario], reps: &[Reps]) -> String {
     let mut rows = Vec::new();
     for (i, &f) in FIG2_FS.iter().enumerate() {
-        let with = reports[2 * i];
-        let without = reports[2 * i + 1];
+        let with = reps[2 * i];
+        let without = reps[2 * i + 1];
         rows.push(vec![
             format!("{f:.1}"),
-            frac(with.good_fraction()),
-            frac(without.good_fraction()),
+            frac_est(with.est(|r| r.good_fraction())),
+            frac_est(without.est(|r| r.good_fraction())),
             frac(f), // ideal = G/(G+B) = f in this homogeneous setting
         ]);
     }
@@ -297,20 +306,20 @@ fn build_fig3() -> Vec<Scenario> {
     scens
 }
 
-fn render_fig3(scens: &[Scenario], reports: &[&RunReport]) -> String {
+fn render_fig3(scens: &[Scenario], reps: &[Reps]) -> String {
     let mut out = String::new();
 
     // ---------- Figure 3 ----------
     let mut rows = Vec::new();
     for (i, &c) in FIG3_CS.iter().enumerate() {
-        let off = reports[2 * i];
-        let on = reports[2 * i + 1];
+        let off = reps[2 * i];
+        let on = reps[2 * i + 1];
         for (label, r) in [("OFF", off), ("ON", on)] {
             rows.push(vec![
                 format!("{c:.0},{label}"),
-                frac(r.good_fraction()),
-                frac(1.0 - r.good_fraction()),
-                frac(r.good_served_fraction()),
+                frac_est(r.est(|x| x.good_fraction())),
+                frac_est(r.est(|x| 1.0 - x.good_fraction())),
+                frac_est(r.est(|x| x.good_served_fraction())),
             ]);
         }
     }
@@ -323,12 +332,11 @@ fn render_fig3(scens: &[Scenario], reports: &[&RunReport]) -> String {
     // ---------- Figure 4 ----------
     let mut rows = Vec::new();
     for (i, &c) in FIG3_CS.iter().enumerate() {
-        let on = reports[2 * i + 1];
-        let mut t = on.good.payment_time.clone();
+        let on = reps[2 * i + 1];
         rows.push(vec![
             format!("{c:.0}"),
-            secs(t.mean()),
-            secs(t.percentile(90.0)),
+            secs_est(on.est(|r| r.good.payment_time.mean())),
+            secs_est(on.est(|r| r.good.payment_time.clone().percentile(90.0))),
         ]);
     }
     out.push_str("\nFigure 4: time uploading dummy bytes, served good requests (speak-up ON)\n");
@@ -337,13 +345,13 @@ fn render_fig3(scens: &[Scenario], reports: &[&RunReport]) -> String {
     // ---------- Figure 5 ----------
     let mut rows = Vec::new();
     for (i, &c) in FIG3_CS.iter().enumerate() {
-        let on = reports[2 * i + 1];
+        let on = reps[2 * i + 1];
         let ub = scens[2 * i + 1].price_upper_bound();
         rows.push(vec![
             format!("{c:.0}"),
             kbytes(ub),
-            kbytes(on.price_good.mean()),
-            kbytes(on.price_bad.mean()),
+            kbytes_est(on.est(|r| r.price_good.mean())),
+            kbytes_est(on.est(|r| r.price_bad.mean())),
         ]);
     }
     out.push_str("\nFigure 5: average price (payment bytes per served request, speak-up ON)\n");
@@ -366,20 +374,20 @@ fn build_min_capacity() -> Vec<Scenario> {
     scenarios::min_capacity_sweep(Mode::Auction, &MIN_CAP_CS)
 }
 
-fn render_min_capacity(_scens: &[Scenario], reports: &[&RunReport]) -> String {
+fn render_min_capacity(_scens: &[Scenario], reps: &[Reps]) -> String {
     let mut rows = Vec::new();
     let mut threshold: Option<f64> = None;
-    for (r, &c) in reports.iter().zip(&MIN_CAP_CS) {
-        let served = r.good_served_fraction();
+    for (rp, &c) in reps.iter().zip(&MIN_CAP_CS) {
+        let served = rp.est(|r| r.good_served_fraction());
         // "Satisfied" up to simulation-edge censoring (~λ·w in-flight at
         // the cutoff) and stochastic backlog blips.
-        if served >= 0.99 && threshold.is_none() {
+        if served.mean >= 0.99 && threshold.is_none() {
             threshold = Some(c);
         }
         rows.push(vec![
             format!("{c:.0}"),
-            frac(served),
-            frac(r.good_fraction()),
+            frac_est(served),
+            frac_est(rp.est(|r| r.good_fraction())),
             format!("{:.0}%", (c / 100.0 - 1.0) * 100.0),
         ]);
     }
@@ -405,19 +413,29 @@ fn build_fig6() -> Vec<Scenario> {
     vec![scenarios::fig6()]
 }
 
-fn render_fig6(_scens: &[Scenario], reports: &[&RunReport]) -> String {
-    let r = reports[0];
+/// Served-request share of each 10-client category (Figs 6 and 7 group
+/// clients in scenario order).
+fn category_shares(r: &RunReport) -> [f64; 5] {
     let mut served = [0u64; 5];
     for (i, pc) in r.per_client.iter().enumerate() {
         served[i / 10] += pc.served;
     }
-    let total: u64 = served.iter().sum();
+    let total = served.iter().sum::<u64>().max(1);
+    let mut out = [0.0; 5];
+    for i in 0..5 {
+        out[i] = served[i] as f64 / total as f64;
+    }
+    out
+}
+
+fn render_fig6(_scens: &[Scenario], reps: &[Reps]) -> String {
+    let rp = reps[0];
     let mut rows = Vec::new();
-    for (i, &cat) in served.iter().enumerate() {
+    for i in 0..5 {
         let bw_mbps = 0.5 * (i as f64 + 1.0);
         rows.push(vec![
             format!("{bw_mbps:.1}"),
-            frac(cat as f64 / total.max(1) as f64),
+            frac_est(rp.est(|r| category_shares(r)[i])),
             frac((i as f64 + 1.0) / 15.0),
         ]);
     }
@@ -439,28 +457,15 @@ fn build_fig7() -> Vec<Scenario> {
     vec![scenarios::fig7(false), scenarios::fig7(true)]
 }
 
-fn render_fig7(_scens: &[Scenario], reports: &[&RunReport]) -> String {
-    let shares = |r: &RunReport| -> [f64; 5] {
-        let mut served = [0u64; 5];
-        for (i, pc) in r.per_client.iter().enumerate() {
-            served[i / 10] += pc.served;
-        }
-        let total: u64 = served.iter().sum::<u64>().max(1);
-        let mut out = [0.0; 5];
-        for i in 0..5 {
-            out[i] = served[i] as f64 / total as f64;
-        }
-        out
-    };
-    let good = shares(reports[0]);
-    let bad = shares(reports[1]);
-
+fn render_fig7(_scens: &[Scenario], reps: &[Reps]) -> String {
+    let good = reps[0];
+    let bad = reps[1];
     let mut rows = Vec::new();
     for i in 0..5 {
         rows.push(vec![
             format!("{}", 100 * (i + 1)),
-            frac(good[i]),
-            frac(bad[i]),
+            frac_est(good.est(|r| category_shares(r)[i])),
+            frac_est(bad.est(|r| category_shares(r)[i])),
             frac(0.2),
         ]);
     }
@@ -486,30 +491,40 @@ fn build_fig8() -> Vec<Scenario> {
     FIG8_SPLITS.iter().map(|&n| scenarios::fig8(n)).collect()
 }
 
-fn render_fig8(_scens: &[Scenario], reports: &[&RunReport]) -> String {
-    let mut rows = Vec::new();
-    for (r, &n_good) in reports.iter().zip(&FIG8_SPLITS) {
-        let (mut bg, mut bb, mut bg_gen) = (0u64, 0u64, 0u64);
-        let mut direct = 0u64;
-        for pc in &r.per_client {
-            if pc.behind_bottleneck {
-                if pc.is_bad {
-                    bb += pc.served;
-                } else {
-                    bg += pc.served;
-                    bg_gen += pc.generated;
-                }
+/// Fig 8 derived metrics: (bottleneck's server share, good clients'
+/// share of it, served fraction of good-behind-bottleneck demand).
+fn fig8_derived(r: &RunReport) -> (f64, f64, f64) {
+    let (mut bg, mut bb, mut bg_gen) = (0u64, 0u64, 0u64);
+    let mut direct = 0u64;
+    for pc in &r.per_client {
+        if pc.behind_bottleneck {
+            if pc.is_bad {
+                bb += pc.served;
             } else {
-                direct += pc.served;
+                bg += pc.served;
+                bg_gen += pc.generated;
             }
+        } else {
+            direct += pc.served;
         }
-        let behind = bg + bb;
+    }
+    let behind = bg + bb;
+    (
+        behind as f64 / (behind + direct).max(1) as f64,
+        bg as f64 / behind.max(1) as f64,
+        bg as f64 / bg_gen.max(1) as f64,
+    )
+}
+
+fn render_fig8(_scens: &[Scenario], reps: &[Reps]) -> String {
+    let mut rows = Vec::new();
+    for (rp, &n_good) in reps.iter().zip(&FIG8_SPLITS) {
         rows.push(vec![
             format!("{n_good} good, {} bad", 30 - n_good),
-            frac(behind as f64 / (behind + direct).max(1) as f64),
-            frac(bg as f64 / behind.max(1) as f64),
+            frac_est(rp.est(|r| fig8_derived(r).0)),
+            frac_est(rp.est(|r| fig8_derived(r).1)),
             frac(n_good as f64 / 30.0),
-            frac(bg as f64 / bg_gen.max(1) as f64),
+            frac_est(rp.est(|r| fig8_derived(r).2)),
         ]);
     }
     format!(
@@ -547,23 +562,39 @@ fn build_fig9() -> Vec<Scenario> {
     scens
 }
 
-fn render_fig9(_scens: &[Scenario], reports: &[&RunReport]) -> String {
+fn render_fig9(_scens: &[Scenario], reps: &[Reps]) -> String {
+    let lat_mean = |r: &RunReport| r.wget_latencies.as_ref().expect("wget data").mean();
+    // Single replicate: the download-latency spread within the run
+    // (n = downloads). Replicated: mean of per-run means ± CI across
+    // replicates, labelled with the replicate count — that, not the
+    // per-run download count, is the CI's sample size.
+    let cell = |rp: Reps, e: Est| {
+        let base = rp.base().wget_latencies.as_ref().expect("wget data");
+        match e.ci95 {
+            None => format!(
+                "{:.3} ± {:.3} (n={})",
+                base.mean(),
+                base.stddev(),
+                base.len()
+            ),
+            Some(ci) => format!("{:.3}±{ci:.3} ({} reps)", e.mean, rp.n()),
+        }
+    };
     let mut rows = Vec::new();
     for (i, &size) in FIG9_SIZES.iter().enumerate() {
-        let off = reports[2 * i].wget_latencies.clone().expect("wget data");
-        let on = reports[2 * i + 1]
-            .wget_latencies
-            .clone()
-            .expect("wget data");
-        let inflation = if off.mean() > 0.0 {
-            on.mean() / off.mean()
+        let off = reps[2 * i];
+        let on = reps[2 * i + 1];
+        let off_e = off.est(lat_mean);
+        let on_e = on.est(lat_mean);
+        let inflation = if off_e.mean > 0.0 {
+            on_e.mean / off_e.mean
         } else {
             0.0
         };
         rows.push(vec![
             format!("{}", size >> 10),
-            format!("{:.3} ± {:.3} (n={})", off.mean(), off.stddev(), off.len()),
-            format!("{:.3} ± {:.3} (n={})", on.mean(), on.stddev(), on.len()),
+            cell(off, off_e),
+            cell(on, on_e),
             format!("{inflation:.1}x"),
         ]);
     }
@@ -602,17 +633,20 @@ fn build_hetero() -> Vec<Scenario> {
     ]
 }
 
-fn render_hetero(_scens: &[Scenario], reports: &[&RunReport]) -> String {
-    let mut rows = Vec::new();
-    for r in reports {
-        // Work share: requests weighted by difficulty.
+fn render_hetero(_scens: &[Scenario], reps: &[Reps]) -> String {
+    // Work share: requests weighted by difficulty.
+    let work_share = |r: &RunReport| {
         let good_work = r.allocation.good as f64;
         let bad_work = r.allocation.bad as f64 * HETERO_HARD;
+        good_work / (good_work + bad_work).max(1.0)
+    };
+    let mut rows = Vec::new();
+    for rp in reps {
         rows.push(vec![
-            r.mode.clone(),
-            format!("{}", r.allocation.good),
-            format!("{}", r.allocation.bad),
-            frac(good_work / (good_work + bad_work).max(1.0)),
+            rp.base().mode.clone(),
+            count_est(rp.est(|r| r.allocation.good as f64)),
+            count_est(rp.est(|r| r.allocation.bad as f64)),
+            frac_est(rp.est(work_share)),
             frac(0.5),
         ]);
     }
@@ -656,14 +690,14 @@ fn build_profiling() -> Vec<Scenario> {
     ]
 }
 
-fn render_profiling(_scens: &[Scenario], reports: &[&RunReport]) -> String {
+fn render_profiling(_scens: &[Scenario], reps: &[Reps]) -> String {
     let mut rows = Vec::new();
-    for (r, label) in reports.iter().zip(PROFILING_LABELS) {
+    for (rp, label) in reps.iter().zip(PROFILING_LABELS) {
         rows.push(vec![
             label.to_string(),
-            frac(r.good_fraction()),
-            frac(r.good_served_fraction()),
-            format!("{}", r.thinner_drops),
+            frac_est(rp.est(|r| r.good_fraction())),
+            frac_est(rp.est(|r| r.good_served_fraction())),
+            count_est(rp.est(|r| r.thinner_drops as f64)),
         ]);
     }
     format!(
@@ -697,17 +731,17 @@ fn build_retry_ablation() -> Vec<Scenario> {
     scens
 }
 
-fn render_retry_ablation(_scens: &[Scenario], reports: &[&RunReport]) -> String {
+fn render_retry_ablation(_scens: &[Scenario], reps: &[Reps]) -> String {
     let mut rows = Vec::new();
     for (i, &c) in FIG3_CS.iter().enumerate() {
-        let auction = reports[2 * i];
-        let retry = reports[2 * i + 1];
+        let auction = reps[2 * i];
+        let retry = reps[2 * i + 1];
         rows.push(vec![
             format!("{c:.0}"),
-            frac(auction.good_fraction()),
-            frac(retry.good_fraction()),
-            frac(auction.good_served_fraction()),
-            frac(retry.good_served_fraction()),
+            frac_est(auction.est(|r| r.good_fraction())),
+            frac_est(retry.est(|r| r.good_fraction())),
+            frac_est(auction.est(|r| r.good_served_fraction())),
+            frac_est(retry.est(|r| r.good_served_fraction())),
         ]);
     }
     format!(
@@ -739,17 +773,16 @@ fn build_flash_crowd() -> Vec<Scenario> {
     ]
 }
 
-fn render_flash_crowd(_scens: &[Scenario], reports: &[&RunReport]) -> String {
+fn render_flash_crowd(_scens: &[Scenario], reps: &[Reps]) -> String {
     let mut rows = Vec::new();
-    for r in reports {
-        let mut latency = r.good.latency.clone();
+    for rp in reps {
         rows.push(vec![
-            r.mode.clone(),
-            frac(r.good_served_fraction()),
-            secs(latency.mean()),
-            secs(latency.percentile(90.0)),
-            frac(r.server_utilization),
-            format!("{}", r.thinner_drops),
+            rp.base().mode.clone(),
+            frac_est(rp.est(|r| r.good_served_fraction())),
+            secs_est(rp.est(|r| r.good.latency.mean())),
+            secs_est(rp.est(|r| r.good.latency.clone().percentile(90.0))),
+            frac_est(rp.est(|r| r.server_utilization)),
+            count_est(rp.est(|r| r.thinner_drops as f64)),
         ]);
     }
     format!(

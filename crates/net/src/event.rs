@@ -1,9 +1,14 @@
 //! The simulator's event queue.
 //!
-//! A binary heap keyed on `(time, sequence)`. The sequence number breaks
-//! ties in insertion order, which makes runs deterministic: two events
-//! scheduled for the same instant always fire in the order they were
-//! scheduled, regardless of heap internals.
+//! A binary heap keyed on `(time, lane, sequence)`. The *lane* is a
+//! caller-chosen canonical key (the sharded engine uses the link, node,
+//! or flow an event belongs to) that totally orders same-time events the
+//! same way no matter which shard's queue they sit in — the property the
+//! split-population engine needs for `--shards K`-invariant results. The
+//! sequence number breaks remaining ties in insertion order, which makes
+//! runs deterministic: two events scheduled for the same instant and lane
+//! always fire in the order they were scheduled, regardless of heap
+//! internals.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -16,6 +21,7 @@ pub struct EventHandle(u64);
 
 struct Scheduled<E> {
     time: SimTime,
+    lane: u64,
     seq: u64,
     cancelled_check: u64,
     event: E,
@@ -23,7 +29,7 @@ struct Scheduled<E> {
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.lane == other.lane && self.seq == other.seq
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -34,6 +40,7 @@ impl<E> Ord for Scheduled<E> {
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.lane.cmp(&self.lane))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -66,12 +73,20 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedule `event` to fire at `time`. Returns a handle that can cancel it.
+    /// Schedule `event` to fire at `time` on lane 0. Returns a handle that
+    /// can cancel it.
     pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
+        self.push_lane(time, 0, event)
+    }
+
+    /// Schedule `event` at `time` on a canonical `lane`. Same-time events
+    /// order by lane first, then insertion order within the lane.
+    pub fn push_lane(&mut self, time: SimTime, lane: u64, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled {
             time,
+            lane,
             seq,
             cancelled_check: seq,
             event,
@@ -149,6 +164,23 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop().unwrap().1, i);
         }
+    }
+
+    #[test]
+    fn lanes_order_same_time_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push_lane(t, 9, "lane9");
+        q.push_lane(t, 2, "lane2-first");
+        q.push_lane(t, 5, "lane5");
+        q.push_lane(t, 2, "lane2-second");
+        // Earlier time always wins over lane.
+        q.push_lane(SimTime::from_secs(2), 0, "later");
+        assert_eq!(q.pop().unwrap().1, "lane2-first");
+        assert_eq!(q.pop().unwrap().1, "lane2-second");
+        assert_eq!(q.pop().unwrap().1, "lane5");
+        assert_eq!(q.pop().unwrap().1, "lane9");
+        assert_eq!(q.pop().unwrap().1, "later");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The simulator: world state, event loop, and the application interface.
+//! The simulator: sharded world state, event loops, and the application
+//! interface.
 //!
 //! One application ([`App`]) runs per node. Applications interact with the
 //! world exclusively through [`Ctx`]: they open flows, write messages, set
@@ -6,9 +7,42 @@
 //! timer expiry, flow drained, flow aborted by peer — in deterministic
 //! order.
 //!
-//! Determinism: the event queue breaks time ties by insertion order, the
-//! RNG is seeded PCG-32, and all state transitions are single-threaded, so
-//! a `(topology, apps, seed)` triple always produces the same trace.
+//! ## Sharded execution
+//!
+//! A simulation can be split across `K` shard event loops
+//! ([`Simulator::new_sharded`]): each shard owns a subset of the nodes,
+//! the links leaving those nodes, its own event queue, and per-node RNG
+//! streams. Shards advance concurrently in *lookahead windows* bounded by
+//! the minimum cross-shard link propagation delay (classic conservative
+//! synchronization): any packet sent during a window arrives at another
+//! shard no earlier than the window's end, so shards only need to
+//! exchange cross-shard traffic at a barrier between windows.
+//!
+//! ## Determinism — shard-count invariance
+//!
+//! The hard guarantee is that results are *byte-identical for any shard
+//! count*, which is stronger than mere reproducibility. Three mechanisms
+//! provide it:
+//!
+//! * **Location-keyed randomness.** Every node and every link owns its
+//!   own PCG-32 stream derived from `(seed, entity id)`, so the random
+//!   sequence an entity consumes does not depend on how entities are
+//!   grouped into shards (a single global stream would be consumed in
+//!   schedule order, which sharding changes).
+//! * **Canonical event ordering.** The event queue orders same-time
+//!   events by a canonical *lane* (the link, node, or flow the event
+//!   belongs to) before insertion order. Each lane is only ever written
+//!   by the shard owning its entity, so per-lane insertion order is
+//!   shard-count invariant, and cross-lane ties resolve by lane id the
+//!   same way in every configuration.
+//! * **Split flows with delayed control records.** A flow's sender state
+//!   lives on the source node's shard and its receiver state on the
+//!   destination's. Sender-side facts the receiver needs (flow open,
+//!   message boundaries, aborts) travel as control records delayed by the
+//!   path's propagation delay — at least the lookahead, so they fit the
+//!   window protocol, and strictly ahead of any data they describe. The
+//!   same delay applies even when both halves share a shard, so `K = 1`
+//!   and `K = 4` see identical timelines.
 
 use crate::event::{EventHandle, EventQueue};
 use crate::link::{Enqueue, Link, LinkStats};
@@ -18,7 +52,9 @@ use crate::tcp::{Flow, FlowAction, FlowConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Handle to a pending application timer, usable for cancellation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,8 +64,9 @@ pub struct TimerHandle(EventHandle);
 ///
 /// All methods have empty defaults so implementations override only what
 /// they need. `Any` is a supertrait so harnesses can downcast applications
-/// back out of the simulator to read their results.
-pub trait App: Any {
+/// back out of the simulator to read their results; `Send` lets shard
+/// event loops run on worker threads.
+pub trait App: Any + Send {
     /// Called once when the simulation starts.
     fn start(&mut self, ctx: &mut Ctx) {
         let _ = ctx;
@@ -52,11 +89,88 @@ pub trait App: Any {
     }
 }
 
+/// Compose the canonical [`FlowId`] for the `nth` flow opened by `node`.
+///
+/// Flow ids are allocated per opening node (high 12 bits node, low 20
+/// bits per-node counter) so that the id a flow gets does not depend on
+/// how the simulation is sharded. The split supports 4096 nodes and
+/// ~1M flows per node — at an aggressive client's ~40 payment flows per
+/// second that is over seven simulated hours before exhaustion.
+pub fn flow_id(node: NodeId, nth: u32) -> FlowId {
+    assert!(node.0 < (1 << 12), "too many nodes for flow ids ({node})");
+    assert!(
+        nth < (1 << 20),
+        "flow id space exhausted (node {node}, flow #{nth})"
+    );
+    FlowId((node.0 << 20) | nth)
+}
+
+// Canonical lanes: a total order over same-time events that is identical
+// in every sharding. Links sort before nodes before flow timers before
+// flow control records. Control records get a lane class of their own
+// because they are written into the *peer's* queue: sharing a lane with
+// the locally-armed RTO events would let an exact-time RTO/abort tie
+// fall to insertion order, which barrier exchange changes with the
+// shard count.
+fn lane_link(l: LinkId) -> u64 {
+    l.0 as u64
+}
+fn lane_node(n: NodeId) -> u64 {
+    (1 << 32) | n.0 as u64
+}
+fn lane_flow(f: FlowId) -> u64 {
+    (2 << 32) | f.0 as u64
+}
+fn lane_ctl(f: FlowId) -> u64 {
+    (3 << 32) | f.0 as u64
+}
+
+// RNG stream namespaces: every node and link derives its own stream from
+// the run seed, independent of sharding.
+const STREAM_NODE: u64 = 1 << 40;
+const STREAM_LINK: u64 = 2 << 40;
+
 enum Event {
     TxDone(LinkId),
-    Arrive { node: NodeId, packet: Packet },
-    AppTimer { node: NodeId, token: u64 },
+    Arrive {
+        node: NodeId,
+        packet: Packet,
+    },
+    AppTimer {
+        node: NodeId,
+        token: u64,
+    },
     Rto(FlowId),
+    /// Control record: `src` opened `id` toward `dst`; create the
+    /// receiver half.
+    FlowOpen {
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        cfg: FlowConfig,
+    },
+    /// Control record: the sender wrote a message ending at stream byte
+    /// `end`, tagged `tag`.
+    FlowBoundary {
+        id: FlowId,
+        end: u64,
+        tag: u64,
+    },
+    /// Control record: the peer aborted; silence the local half and
+    /// notify its application. `at_receiver` selects which half.
+    FlowAbort {
+        id: FlowId,
+        at_receiver: bool,
+    },
+}
+
+/// A cross-shard handoff: an event for another shard's queue, exchanged
+/// at the next window barrier.
+struct Remote {
+    to_shard: u32,
+    time: SimTime,
+    lane: u64,
+    event: Event,
 }
 
 enum Notify {
@@ -79,38 +193,70 @@ enum Notify {
     },
 }
 
-/// Everything in the simulated world except the applications.
+/// Everything one shard owns of the simulated world: its nodes' state,
+/// the links leaving them, the flow halves anchored on them, an event
+/// queue, and per-entity RNG streams.
 pub struct World {
+    shard: u32,
     now: SimTime,
     queue: EventQueue<Event>,
-    topology: Topology,
-    links: Vec<Link>,
-    flows: Vec<Flow>,
-    rto_handles: Vec<Option<EventHandle>>,
-    rng: Pcg32,
+    topology: Arc<Topology>,
+    assignment: Arc<Vec<u32>>,
+    /// Links owned by this shard (those whose source node it owns),
+    /// indexed by [`LinkId`].
+    links: Vec<Option<Link>>,
+    link_rngs: Vec<Option<Pcg32>>,
+    node_rngs: Vec<Option<Pcg32>>,
+    /// Flows opened per node, for canonical id allocation.
+    flow_counts: Vec<u32>,
+    /// Sender halves of flows whose source this shard owns.
+    flows_tx: BTreeMap<FlowId, Flow>,
+    /// Receiver halves of flows whose destination this shard owns.
+    flows_rx: BTreeMap<FlowId, Flow>,
+    rto_handles: BTreeMap<FlowId, EventHandle>,
     notifies: VecDeque<Notify>,
     actions_scratch: Vec<FlowAction>,
-    /// Total packets dropped anywhere (overflow + fault), for quick checks.
+    /// Events bound for other shards, exchanged at the next barrier.
+    outbox: Vec<Remote>,
+    cross_shard_events: u64,
+    /// Total packets dropped on this shard (overflow + fault).
     pub total_drops: u64,
 }
 
 impl World {
-    fn new(topology: Topology, seed: u64) -> Self {
-        let links = topology
-            .edges()
-            .iter()
-            .map(|e| Link::new(e.cfg, e.to))
+    fn new(topology: Arc<Topology>, assignment: Arc<Vec<u32>>, shard: u32, seed: u64) -> Self {
+        let n = topology.node_count() as usize;
+        let mut links = Vec::with_capacity(topology.edges().len());
+        let mut link_rngs = Vec::with_capacity(topology.edges().len());
+        for (i, e) in topology.edges().iter().enumerate() {
+            if assignment[e.from.0 as usize] == shard {
+                links.push(Some(Link::new(e.cfg, e.to)));
+                link_rngs.push(Some(Pcg32::new(seed, STREAM_LINK | i as u64)));
+            } else {
+                links.push(None);
+                link_rngs.push(None);
+            }
+        }
+        let node_rngs = (0..n)
+            .map(|i| (assignment[i] == shard).then(|| Pcg32::new(seed, STREAM_NODE | i as u64)))
             .collect();
         World {
+            shard,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             topology,
+            assignment,
             links,
-            flows: Vec::new(),
-            rto_handles: Vec::new(),
-            rng: Pcg32::seeded(seed),
+            link_rngs,
+            node_rngs,
+            flow_counts: vec![0; n],
+            flows_tx: BTreeMap::new(),
+            flows_rx: BTreeMap::new(),
+            rto_handles: BTreeMap::new(),
             notifies: VecDeque::new(),
             actions_scratch: Vec::new(),
+            outbox: Vec::new(),
+            cross_shard_events: 0,
             total_drops: 0,
         }
     }
@@ -120,24 +266,86 @@ impl World {
         self.now
     }
 
-    /// Read access to a flow, for metrics.
+    /// The sender half of a flow (must be anchored on this shard): window
+    /// state, acked/written byte counts, retransmission stats.
     pub fn flow(&self, id: FlowId) -> &Flow {
-        &self.flows[id.0 as usize]
+        self.flows_tx
+            .get(&id)
+            .unwrap_or_else(|| panic!("sender half of {id} not on this shard"))
     }
 
-    /// Number of flows ever opened.
+    /// The receiver half of a flow (must be anchored on this shard):
+    /// delivered byte counts and reassembly state.
+    pub fn flow_rx(&self, id: FlowId) -> &Flow {
+        self.flows_rx
+            .get(&id)
+            .unwrap_or_else(|| panic!("receiver half of {id} not on this shard"))
+    }
+
+    /// Number of flows opened by nodes on this shard.
     pub fn flow_count(&self) -> usize {
-        self.flows.len()
+        self.flows_tx.len()
     }
 
-    /// Statistics for a link.
+    /// Statistics for a link owned by this shard.
     pub fn link_stats(&self, id: LinkId) -> LinkStats {
-        self.links[id.0 as usize].stats
+        self.links[id.0 as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("link {id} not owned by this shard"))
+            .stats
     }
 
     /// The topology the world was built from.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    fn shard_of(&self, node: NodeId) -> u32 {
+        self.assignment[node.0 as usize]
+    }
+
+    /// The view a node's application sees of the flow: its own role's
+    /// half (sender if the node is the source, receiver if it is the
+    /// destination).
+    fn flow_at(&self, node: NodeId, id: FlowId) -> &Flow {
+        if let Some(f) = self.flows_tx.get(&id) {
+            if f.src == node {
+                return f;
+            }
+        }
+        if let Some(f) = self.flows_rx.get(&id) {
+            if f.dst == node {
+                return f;
+            }
+        }
+        panic!("flow {id} is not visible from {node}")
+    }
+
+    /// Queue `event` for `to_shard` (locally, or via the outbox for a
+    /// barrier exchange).
+    fn schedule(&mut self, time: SimTime, lane: u64, event: Event, to_shard: u32) {
+        if to_shard == self.shard {
+            self.queue.push_lane(time, lane, event);
+        } else {
+            self.cross_shard_events += 1;
+            self.outbox.push(Remote {
+                to_shard,
+                time,
+                lane,
+                event,
+            });
+        }
+    }
+
+    /// The latency of flow control records: the path's propagation delay.
+    /// It is at least the lookahead (the path crosses any shard boundary
+    /// through at least one cross-shard link) and strictly less than any
+    /// data byte's arrival (which also pays transmission time), so control
+    /// records always precede the data they describe, in every sharding.
+    fn ctl_delay(&self, from: NodeId, to: NodeId) -> SimDuration {
+        self.topology
+            .path_delay(from, to)
+            .unwrap_or_else(|| panic!("no path {from} -> {to}"))
     }
 
     fn open_flow(&mut self, src: NodeId, dst: NodeId, cfg: FlowConfig) -> FlowId {
@@ -146,9 +354,17 @@ impl World {
             "flow endpoints must be mutually reachable ({src} <-> {dst})"
         );
         assert_ne!(src, dst, "flows must connect distinct nodes");
-        let id = FlowId(self.flows.len() as u32);
-        self.flows.push(Flow::new(id, src, dst, cfg));
-        self.rto_handles.push(None);
+        let nth = self.flow_counts[src.0 as usize];
+        self.flow_counts[src.0 as usize] = nth + 1;
+        let id = flow_id(src, nth);
+        self.flows_tx.insert(id, Flow::new(id, src, dst, cfg));
+        let at = self.now + self.ctl_delay(src, dst);
+        self.schedule(
+            at,
+            lane_ctl(id),
+            Event::FlowOpen { id, src, dst, cfg },
+            self.shard_of(dst),
+        );
         id
     }
 
@@ -157,10 +373,15 @@ impl World {
             .topology
             .next_hop(at, packet.dst)
             .unwrap_or_else(|| panic!("no route {at} -> {}", packet.dst));
-        let roll = self.rng.f64();
-        match self.links[lid.0 as usize].enqueue(packet, roll) {
+        let roll = self.link_rngs[lid.0 as usize]
+            .as_mut()
+            .expect("routing over a link this shard does not own")
+            .f64();
+        let link = self.links[lid.0 as usize].as_mut().expect("owned link");
+        match link.enqueue(packet, roll) {
             Enqueue::StartTx(tx) => {
-                self.queue.push(self.now + tx, Event::TxDone(lid));
+                self.queue
+                    .push_lane(self.now + tx, lane_link(lid), Event::TxDone(lid));
             }
             Enqueue::Queued => {}
             Enqueue::Dropped => {
@@ -169,13 +390,21 @@ impl World {
         }
     }
 
+    /// The flow fields shared by both halves, read from whichever half
+    /// this shard holds.
+    fn flow_fields(&self, fid: FlowId) -> (NodeId, NodeId, u32, u32) {
+        let f = self
+            .flows_tx
+            .get(&fid)
+            .or_else(|| self.flows_rx.get(&fid))
+            .unwrap_or_else(|| panic!("no half of {fid} on this shard"));
+        (f.src, f.dst, f.cfg.header_bytes, f.cfg.ack_bytes)
+    }
+
     fn apply_flow_actions(&mut self, fid: FlowId) {
         let actions = std::mem::take(&mut self.actions_scratch);
         for action in &actions {
-            let (src, dst, header, ack_bytes) = {
-                let f = &self.flows[fid.0 as usize];
-                (f.src, f.dst, f.cfg.header_bytes, f.cfg.ack_bytes)
-            };
+            let (src, dst, header, ack_bytes) = self.flow_fields(fid);
             match *action {
                 FlowAction::SendData { offset, len } => {
                     let p = Packet {
@@ -198,14 +427,16 @@ impl World {
                     self.route_packet(dst, p);
                 }
                 FlowAction::ArmRto(after) => {
-                    if let Some(h) = self.rto_handles[fid.0 as usize].take() {
+                    if let Some(h) = self.rto_handles.remove(&fid) {
                         self.queue.cancel(h);
                     }
-                    let h = self.queue.push(self.now + after, Event::Rto(fid));
-                    self.rto_handles[fid.0 as usize] = Some(h);
+                    let h = self
+                        .queue
+                        .push_lane(self.now + after, lane_flow(fid), Event::Rto(fid));
+                    self.rto_handles.insert(fid, h);
                 }
                 FlowAction::CancelRto => {
-                    if let Some(h) = self.rto_handles[fid.0 as usize].take() {
+                    if let Some(h) = self.rto_handles.remove(&fid) {
                         self.queue.cancel(h);
                     }
                 }
@@ -229,18 +460,73 @@ impl World {
         self.actions_scratch.clear();
     }
 
+    fn abort_flow_from(&mut self, node: NodeId, id: FlowId) {
+        if let Some(f) = self.flows_tx.get_mut(&id) {
+            if f.src == node {
+                if f.is_aborted() {
+                    return;
+                }
+                let dst = f.dst;
+                let mut actions = std::mem::take(&mut self.actions_scratch);
+                f.abort(&mut actions);
+                self.actions_scratch = actions;
+                self.apply_flow_actions(id);
+                let at = self.now + self.ctl_delay(node, dst);
+                self.schedule(
+                    at,
+                    lane_ctl(id),
+                    Event::FlowAbort {
+                        id,
+                        at_receiver: true,
+                    },
+                    self.shard_of(dst),
+                );
+                return;
+            }
+        }
+        if let Some(f) = self.flows_rx.get_mut(&id) {
+            if f.dst == node {
+                if f.is_aborted() {
+                    return;
+                }
+                let src = f.src;
+                let mut actions = std::mem::take(&mut self.actions_scratch);
+                f.abort(&mut actions);
+                self.actions_scratch = actions;
+                self.apply_flow_actions(id);
+                let at = self.now + self.ctl_delay(node, src);
+                self.schedule(
+                    at,
+                    lane_ctl(id),
+                    Event::FlowAbort {
+                        id,
+                        at_receiver: false,
+                    },
+                    self.shard_of(src),
+                );
+                return;
+            }
+        }
+        panic!("abort from a non-endpoint");
+    }
+
     fn handle_event(&mut self, ev: Event) {
         match ev {
             Event::TxDone(lid) => {
-                let link = &mut self.links[lid.0 as usize];
+                let link = self.links[lid.0 as usize].as_mut().expect("owned link");
                 let delay = link.cfg.delay;
                 let dst = link.dst;
                 let (packet, next) = link.tx_done();
                 if let Some(tx) = next {
-                    self.queue.push(self.now + tx, Event::TxDone(lid));
+                    self.queue
+                        .push_lane(self.now + tx, lane_link(lid), Event::TxDone(lid));
                 }
-                self.queue
-                    .push(self.now + delay, Event::Arrive { node: dst, packet });
+                self.schedule(
+                    self.now + delay,
+                    lane_link(lid),
+                    Event::Arrive { node: dst, packet },
+                    self.shard_of(dst),
+                );
             }
             Event::Arrive { node, packet } => {
                 if node == packet.dst {
@@ -253,12 +539,42 @@ impl World {
                 self.notifies.push_back(Notify::Timer { node, token });
             }
             Event::Rto(fid) => {
-                self.rto_handles[fid.0 as usize] = None;
+                self.rto_handles.remove(&fid);
                 let now = self.now;
                 let mut actions = std::mem::take(&mut self.actions_scratch);
-                self.flows[fid.0 as usize].on_rto(now, &mut actions);
+                self.flows_tx
+                    .get_mut(&fid)
+                    .expect("RTO for a foreign flow")
+                    .on_rto(now, &mut actions);
                 self.actions_scratch = actions;
                 self.apply_flow_actions(fid);
+            }
+            Event::FlowOpen { id, src, dst, cfg } => {
+                self.flows_rx.insert(id, Flow::new(id, src, dst, cfg));
+            }
+            Event::FlowBoundary { id, end, tag } => {
+                self.flows_rx
+                    .get_mut(&id)
+                    .expect("boundary for an unopened flow")
+                    .note_boundary(end, tag);
+            }
+            Event::FlowAbort { id, at_receiver } => {
+                let f = if at_receiver {
+                    self.flows_rx.get_mut(&id)
+                } else {
+                    self.flows_tx.get_mut(&id)
+                }
+                .expect("abort for a foreign flow");
+                if f.is_aborted() {
+                    // Both ends aborted concurrently; nothing to report.
+                    return;
+                }
+                let node = if at_receiver { f.dst } else { f.src };
+                let mut actions = std::mem::take(&mut self.actions_scratch);
+                f.abort(&mut actions);
+                self.actions_scratch = actions;
+                self.apply_flow_actions(id);
+                self.notifies.push_back(Notify::Aborted { node, flow: id });
             }
         }
     }
@@ -269,10 +585,16 @@ impl World {
         let mut actions = std::mem::take(&mut self.actions_scratch);
         match packet.kind {
             PacketKind::Data { offset, len } => {
-                self.flows[fid.0 as usize].on_data(now, offset, len, &mut actions);
+                self.flows_rx
+                    .get_mut(&fid)
+                    .expect("data for an unopened flow")
+                    .on_data(now, offset, len, &mut actions);
             }
             PacketKind::Ack { cum } => {
-                self.flows[fid.0 as usize].on_ack(now, cum, &mut actions);
+                self.flows_tx
+                    .get_mut(&fid)
+                    .expect("ack for a foreign flow")
+                    .on_ack(now, cum, &mut actions);
             }
         }
         self.actions_scratch = actions;
@@ -297,9 +619,12 @@ impl<'a> Ctx<'a> {
         self.node
     }
 
-    /// The shared deterministic RNG.
+    /// This node's deterministic RNG stream (derived from `(seed, node)`,
+    /// so it is independent of sharding and of other nodes' draws).
     pub fn rng(&mut self) -> &mut Pcg32 {
-        &mut self.world.rng
+        self.world.node_rngs[self.node.0 as usize]
+            .as_mut()
+            .expect("rng of a foreign node")
     }
 
     /// Open a flow from this node to `dst` with the given transport config.
@@ -315,42 +640,46 @@ impl<'a> Ctx<'a> {
     /// Write a message of `bytes` bytes tagged `tag` onto `flow`. Must be
     /// called from the flow's source node.
     pub fn send(&mut self, flow: FlowId, bytes: u64, tag: u64) {
-        assert_eq!(
-            self.world.flows[flow.0 as usize].src, self.node,
-            "send from the wrong endpoint"
-        );
         let now = self.world.now;
         let mut actions = std::mem::take(&mut self.world.actions_scratch);
-        self.world.flows[flow.0 as usize].write(now, bytes, tag, &mut actions);
+        let f = self
+            .world
+            .flows_tx
+            .get_mut(&flow)
+            .unwrap_or_else(|| panic!("send on a flow {flow} not sent from this shard"));
+        assert_eq!(f.src, self.node, "send from the wrong endpoint");
+        let dst = f.dst;
+        let before = f.written_bytes();
+        f.write(now, bytes, tag, &mut actions);
+        let end = f.written_bytes();
         self.world.actions_scratch = actions;
+        if end > before {
+            // Replicate the message boundary to the receiver half, one
+            // propagation delay ahead of the data.
+            let at = now + self.world.ctl_delay(self.node, dst);
+            let to = self.world.shard_of(dst);
+            self.world.schedule(
+                at,
+                lane_ctl(flow),
+                Event::FlowBoundary { id: flow, end, tag },
+                to,
+            );
+        }
         self.world.apply_flow_actions(flow);
     }
 
     /// Abort `flow` from either endpoint. The peer gets an
-    /// [`App::on_flow_aborted`] callback; in-flight packets are ignored.
+    /// [`App::on_flow_aborted`] callback one propagation delay later;
+    /// in-flight packets are ignored.
     pub fn abort_flow(&mut self, flow: FlowId) {
-        let f = &self.world.flows[flow.0 as usize];
-        assert!(
-            f.src == self.node || f.dst == self.node,
-            "abort from a non-endpoint"
-        );
-        if f.is_aborted() {
-            return;
-        }
-        let peer = if f.src == self.node { f.dst } else { f.src };
-        let mut actions = std::mem::take(&mut self.world.actions_scratch);
-        self.world.flows[flow.0 as usize].abort(&mut actions);
-        self.world.actions_scratch = actions;
-        self.world.apply_flow_actions(flow);
-        self.world
-            .notifies
-            .push_back(Notify::Aborted { node: peer, flow });
+        self.world.abort_flow_from(self.node, flow);
     }
 
     /// Arm a timer that fires [`App::on_timer`] with `token` after `after`.
     pub fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerHandle {
-        let h = self.world.queue.push(
+        let h = self.world.queue.push_lane(
             self.world.now + after,
+            lane_node(self.node),
             Event::AppTimer {
                 node: self.node,
                 token,
@@ -364,9 +693,11 @@ impl<'a> Ctx<'a> {
         self.world.queue.cancel(handle.0);
     }
 
-    /// Read access to a flow (either endpoint), for byte counts etc.
+    /// Read access to this node's view of a flow: the sender half when
+    /// this node is the source, the receiver half when it is the
+    /// destination.
     pub fn flow(&self, id: FlowId) -> &Flow {
-        self.world.flow(id)
+        self.world.flow_at(self.node, id)
     }
 
     /// Propagation delay of the route to `dst` (for informed apps/tests).
@@ -375,50 +706,14 @@ impl<'a> Ctx<'a> {
     }
 }
 
-/// The simulator: a world plus one application per node.
-pub struct Simulator {
+/// One shard: its slice of the world plus the applications on its nodes.
+struct Shard {
     world: World,
     apps: Vec<Option<Box<dyn App>>>,
     started: bool,
 }
 
-impl Simulator {
-    /// Create a simulator over `topology`, seeded for determinism.
-    pub fn new(topology: Topology, seed: u64) -> Self {
-        let n = topology.node_count() as usize;
-        let mut apps = Vec::with_capacity(n);
-        apps.resize_with(n, || None);
-        Simulator {
-            world: World::new(topology, seed),
-            apps,
-            started: false,
-        }
-    }
-
-    /// Install an application on `node`. Replaces any previous one.
-    pub fn add_app(&mut self, node: NodeId, app: Box<dyn App>) {
-        self.apps[node.0 as usize] = Some(app);
-    }
-
-    /// Read access to the world, for metrics extraction.
-    pub fn world(&self) -> &World {
-        &self.world
-    }
-
-    /// Downcast the application on `node` to a concrete type.
-    pub fn app<T: App>(&self, node: NodeId) -> Option<&T> {
-        self.apps[node.0 as usize]
-            .as_deref()
-            .and_then(|a| (a as &dyn Any).downcast_ref::<T>())
-    }
-
-    /// Mutable downcast of the application on `node`.
-    pub fn app_mut<T: App>(&mut self, node: NodeId) -> Option<&mut T> {
-        self.apps[node.0 as usize]
-            .as_deref_mut()
-            .and_then(|a| (a as &mut dyn Any).downcast_mut::<T>())
-    }
-
+impl Shard {
     fn with_app<R>(&mut self, node: NodeId, f: impl FnOnce(&mut dyn App, &mut Ctx) -> R) -> R {
         let mut app = self.apps[node.0 as usize]
             .take()
@@ -459,16 +754,15 @@ impl Simulator {
         for i in 0..self.apps.len() {
             if self.apps[i].is_some() {
                 self.with_app(NodeId(i as u32), |a, ctx| a.start(ctx));
+                self.dispatch_notifies();
             }
         }
     }
 
-    /// Run the simulation until `until` (inclusive of events at `until`).
-    pub fn run_until(&mut self, until: SimTime) {
-        self.start_apps();
-        self.dispatch_notifies();
+    /// Process local events with `time < window_end` and `time <= until`.
+    fn process_window(&mut self, window_end: SimTime, until: SimTime) {
         while let Some(t) = self.world.queue.peek_time() {
-            if t > until {
+            if t >= window_end || t > until {
                 break;
             }
             let (t, ev) = self.world.queue.pop().expect("peeked");
@@ -477,14 +771,358 @@ impl Simulator {
             self.world.handle_event(ev);
             self.dispatch_notifies();
         }
-        if self.world.now < until {
-            self.world.now = until;
+    }
+}
+
+/// A sense-reversing barrier with a bounded spin before parking on a
+/// condvar. Window barriers fire every lookahead interval (often
+/// sub-millisecond of simulated time): when each shard thread has a core
+/// to itself, arrivals cluster within microseconds and the spin fast
+/// path avoids any syscall; when threads outnumber cores, spinning only
+/// steals time from the threads the barrier is waiting on, so the spin
+/// budget drops to zero and waiters park immediately.
+struct SpinBarrier {
+    n: usize,
+    spin_budget: u32,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: std::sync::atomic::AtomicBool,
+    lock: Mutex<()>,
+    cv: std::sync::Condvar,
+}
+
+/// Shard threads currently live across *all* simulators in the process,
+/// so pooled runs (`jobs × shards` threads) disable spinning when the
+/// pool as a whole oversubscribes the host, not just one simulator.
+static LIVE_SHARD_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+impl SpinBarrier {
+    /// `n` waiters, with `live_threads` shard threads running
+    /// process-wide (including these `n`).
+    fn new(n: usize, live_threads: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        SpinBarrier {
+            n,
+            spin_budget: if live_threads <= cores { 1 << 12 } else { 0 },
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wait for all `n` threads. Returns `false` if the barrier was
+    /// poisoned by a panicking peer — the caller must bail out rather
+    /// than continue the window protocol.
+    fn wait(&self) -> bool {
+        if self.poisoned.load(Ordering::Acquire) {
+            return false;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            self.count.store(0, Ordering::Relaxed);
+            // Bump under the lock so a parked waiter cannot miss the
+            // wakeup between its generation check and its wait.
+            let guard = self.lock.lock().expect("barrier lock poisoned");
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            drop(guard);
+            self.cv.notify_all();
+        } else {
+            for _ in 0..self.spin_budget {
+                if self.generation.load(Ordering::Acquire) != gen {
+                    return !self.poisoned.load(Ordering::Acquire);
+                }
+                std::hint::spin_loop();
+            }
+            let mut guard = self.lock.lock().expect("barrier lock poisoned");
+            while self.generation.load(Ordering::Acquire) == gen {
+                guard = self.cv.wait(guard).expect("barrier wait poisoned");
+            }
+        }
+        !self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Mark the barrier dead after a panic and release every waiter, so
+    /// surviving shard threads exit instead of parking forever while the
+    /// panic propagates through `std::thread::scope`.
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let guard = self.lock.lock().expect("barrier lock poisoned");
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        drop(guard);
+        self.cv.notify_all();
+    }
+}
+
+/// The simulator: one or more shard event loops over a shared topology.
+pub struct Simulator {
+    shards: Vec<Shard>,
+    assignment: Arc<Vec<u32>>,
+    /// Minimum cross-shard link delay: the conservative lookahead. With a
+    /// single shard there is no bound (`SimDuration` max).
+    lookahead: SimDuration,
+}
+
+impl Simulator {
+    /// Create a single-shard simulator over `topology`, seeded for
+    /// determinism.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        let n = topology.node_count() as usize;
+        Self::new_sharded(topology, seed, vec![0; n])
+    }
+
+    /// Create a simulator whose node population is split across shard
+    /// event loops: `assignment[node]` names the shard owning each node
+    /// (shard ids must be dense, `0..K`). Results are byte-identical for
+    /// every assignment; see the module docs for the mechanism. Panics if
+    /// any cross-shard link has zero propagation delay (no lookahead).
+    pub fn new_sharded(topology: Topology, seed: u64, assignment: Vec<u32>) -> Self {
+        assert_eq!(
+            assignment.len(),
+            topology.node_count() as usize,
+            "one shard assignment per node"
+        );
+        let num_shards = assignment.iter().copied().max().unwrap_or(0) as usize + 1;
+        let mut lookahead = SimDuration::from_nanos(u64::MAX);
+        for e in topology.edges() {
+            if assignment[e.from.0 as usize] != assignment[e.to.0 as usize] {
+                assert!(
+                    e.cfg.delay > SimDuration::ZERO,
+                    "cross-shard link {} -> {} has zero delay: no lookahead",
+                    e.from,
+                    e.to
+                );
+                lookahead = lookahead.min(e.cfg.delay);
+            }
+        }
+        let topology = Arc::new(topology);
+        let assignment = Arc::new(assignment);
+        let n = topology.node_count() as usize;
+        let shards = (0..num_shards as u32)
+            .map(|s| {
+                let mut apps = Vec::with_capacity(n);
+                apps.resize_with(n, || None);
+                Shard {
+                    world: World::new(Arc::clone(&topology), Arc::clone(&assignment), s, seed),
+                    apps,
+                    started: false,
+                }
+            })
+            .collect();
+        Simulator {
+            shards,
+            assignment,
+            lookahead,
+        }
+    }
+
+    /// Number of shard event loops.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead window (minimum cross-shard link delay).
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Total events handed across shard boundaries so far.
+    pub fn cross_shard_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.world.cross_shard_events).sum()
+    }
+
+    /// Total packets dropped anywhere (overflow + fault).
+    pub fn total_drops(&self) -> u64 {
+        self.shards.iter().map(|s| s.world.total_drops).sum()
+    }
+
+    /// Install an application on `node`. Replaces any previous one.
+    pub fn add_app(&mut self, node: NodeId, app: Box<dyn App>) {
+        let shard = self.assignment[node.0 as usize] as usize;
+        self.shards[shard].apps[node.0 as usize] = Some(app);
+    }
+
+    /// Read access to shard 0's world — the whole world for single-shard
+    /// simulations (metrics extraction, tests).
+    pub fn world(&self) -> &World {
+        &self.shards[0].world
+    }
+
+    /// Read access to the world shard owning `node`.
+    pub fn world_of(&self, node: NodeId) -> &World {
+        &self.shards[self.assignment[node.0 as usize] as usize].world
+    }
+
+    /// Downcast the application on `node` to a concrete type.
+    pub fn app<T: App>(&self, node: NodeId) -> Option<&T> {
+        let shard = self.assignment[node.0 as usize] as usize;
+        self.shards[shard].apps[node.0 as usize]
+            .as_deref()
+            .and_then(|a| (a as &dyn Any).downcast_ref::<T>())
+    }
+
+    /// Mutable downcast of the application on `node`.
+    pub fn app_mut<T: App>(&mut self, node: NodeId) -> Option<&mut T> {
+        let shard = self.assignment[node.0 as usize] as usize;
+        self.shards[shard].apps[node.0 as usize]
+            .as_deref_mut()
+            .and_then(|a| (a as &mut dyn Any).downcast_mut::<T>())
+    }
+
+    /// Run the simulation until `until` (inclusive of events at `until`).
+    ///
+    /// With multiple shards, each shard's loop runs on its own thread;
+    /// shards advance in lookahead windows and exchange cross-shard
+    /// events at barriers between windows.
+    pub fn run_until(&mut self, until: SimTime) {
+        if self.shards.len() == 1 {
+            let shard = &mut self.shards[0];
+            shard.start_apps();
+            debug_assert!(shard.world.outbox.is_empty(), "single shard has no peers");
+            shard.process_window(SimTime::MAX, until);
+            if shard.world.now < until {
+                shard.world.now = until;
+            }
+            return;
+        }
+
+        let n = self.shards.len();
+        let lookahead = self.lookahead;
+        let live = LIVE_SHARD_THREADS.fetch_add(n, Ordering::SeqCst) + n;
+        let barrier = SpinBarrier::new(n, live);
+        let inboxes: Vec<Mutex<Vec<Remote>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let barrier = &barrier;
+        let inboxes = &inboxes;
+        let next_times = &next_times;
+
+        let first_panic = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(i, shard)| {
+                    scope.spawn(move || {
+                        // A panic anywhere in the window loop (app
+                        // callback, routing, the lookahead assert) must
+                        // poison the barrier so peer shards exit instead
+                        // of parking forever; the payload travels back
+                        // through the join below.
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            Self::run_shard_loop(
+                                i, shard, until, lookahead, barrier, inboxes, next_times,
+                            )
+                        }));
+                        if let Err(panic) = run {
+                            barrier.poison();
+                            std::panic::resume_unwind(panic);
+                        }
+                    })
+                })
+                .collect();
+            // Join explicitly and re-raise the first shard's panic with
+            // its original payload (the scope alone would replace it
+            // with a generic "a scoped thread panicked").
+            let mut first_panic = None;
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    first_panic.get_or_insert(panic);
+                }
+            }
+            first_panic
+        });
+        LIVE_SHARD_THREADS.fetch_sub(n, Ordering::SeqCst);
+        if let Some(panic) = first_panic {
+            std::panic::resume_unwind(panic);
+        }
+    }
+
+    /// One shard thread's window loop (see [`Simulator::run_until`]).
+    #[allow(clippy::too_many_arguments)]
+    fn run_shard_loop(
+        i: usize,
+        shard: &mut Shard,
+        until: SimTime,
+        lookahead: SimDuration,
+        barrier: &SpinBarrier,
+        inboxes: &[Mutex<Vec<Remote>>],
+        next_times: &[AtomicU64],
+    ) {
+        let n = inboxes.len();
+        shard.start_apps();
+        // Reused per-destination scratch for the outbox split.
+        let mut buckets: Vec<Vec<Remote>> = (0..n).map(|_| Vec::new()).collect();
+        loop {
+            // Phase 1: publish this window's cross-shard events. One pass
+            // partitions the outbox into per-destination batches (moves,
+            // no clones), preserving send order — the receiving heap
+            // canonicalizes order across sources by lane.
+            for r in shard.world.outbox.drain(..) {
+                buckets[r.to_shard as usize].push(r);
+            }
+            for (dest, bucket) in buckets.iter_mut().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                debug_assert_ne!(dest, i, "outbox entry addressed to self");
+                let mut inbox = inboxes[dest].lock().expect("inbox poisoned");
+                inbox.append(bucket);
+            }
+            if !barrier.wait() {
+                return;
+            }
+
+            // Phase 2: absorb incoming events, agree on the next window,
+            // and process it. The assert is the conservative guarantee:
+            // nothing arrives earlier than the clock a shard has already
+            // committed to.
+            {
+                let mut inbox = inboxes[i].lock().expect("inbox poisoned");
+                for r in inbox.drain(..) {
+                    assert!(
+                        r.time >= shard.world.now,
+                        "lookahead violation: event at {:?} delivered at {:?}",
+                        r.time,
+                        shard.world.now
+                    );
+                    shard.world.queue.push_lane(r.time, r.lane, r.event);
+                }
+            }
+            let next = shard
+                .world
+                .queue
+                .peek_time()
+                .map_or(u64::MAX, SimTime::as_nanos);
+            next_times[i].store(next, Ordering::SeqCst);
+            if !barrier.wait() {
+                return;
+            }
+            let t_min = next_times
+                .iter()
+                .map(|a| a.load(Ordering::SeqCst))
+                .min()
+                .expect("at least one shard");
+            if t_min > until.as_nanos() {
+                break;
+            }
+            let window_end = SimTime::from_nanos(t_min) + lookahead;
+            shard.process_window(window_end, until);
+            let advanced = window_end.min(until);
+            if advanced > shard.world.now {
+                shard.world.now = advanced;
+            }
+        }
+        if shard.world.now < until {
+            shard.world.now = until;
         }
     }
 
     /// Run for a span of simulated time from the current clock.
     pub fn run_for(&mut self, span: SimDuration) {
-        let until = self.world.now + span;
+        let until = self.shards[0].world.now + span;
         self.run_until(until);
     }
 }
@@ -639,8 +1277,8 @@ mod tests {
         }
         sim.add_app(z, Box::new(Receiver::default()));
         sim.run_until(SimTime::from_secs(40));
-        let f1 = sim.world().flow(FlowId(0)).acked_bytes() as f64;
-        let f2 = sim.world().flow(FlowId(1)).acked_bytes() as f64;
+        let f1 = sim.world().flow(flow_id(s1, 0)).acked_bytes() as f64;
+        let f2 = sim.world().flow(flow_id(s2, 0)).acked_bytes() as f64;
         let ratio = f1.min(f2) / f1.max(f2);
         assert!(ratio > 0.6, "unfair split: {f1} vs {f2}");
         // Aggregate goodput should be near 2 Mbit/s payload-adjusted.
@@ -677,12 +1315,15 @@ mod tests {
         sim.run_until(SimTime::from_secs(120));
         let rx = sim.app::<Receiver>(z).unwrap();
         assert_eq!(rx.got.len(), 1, "message must arrive despite loss");
-        let f = sim.world().flow(FlowId(0));
+        let f = sim.world().flow(flow_id(a, 0));
         assert!(
             f.stats.segments_retransmitted > 0,
             "loss caused retransmits"
         );
-        assert_eq!(f.delivered_bytes(), 500_000);
+        assert_eq!(
+            sim.world().flow_rx(flow_id(a, 0)).delivered_bytes(),
+            500_000
+        );
     }
 
     #[test]
@@ -748,8 +1389,10 @@ mod tests {
         sim.add_app(a, Box::new(Aborter { dst: z }));
         sim.add_app(z, Box::new(PeerWatch::default()));
         sim.run_until(SimTime::from_secs(2));
-        assert_eq!(sim.app::<PeerWatch>(z).unwrap().aborted, vec![FlowId(0)]);
-        assert!(sim.world().flow(FlowId(0)).is_aborted());
+        let f = flow_id(a, 0);
+        assert_eq!(sim.app::<PeerWatch>(z).unwrap().aborted, vec![f]);
+        assert!(sim.world().flow(f).is_aborted());
+        assert!(sim.world().flow_rx(f).is_aborted());
     }
 
     #[test]
@@ -760,5 +1403,148 @@ mod tests {
         assert_eq!(sim.world().now(), SimTime::from_secs(5));
         sim.run_for(SimDuration::from_secs(3));
         assert_eq!(sim.world().now(), SimTime::from_secs(8));
+    }
+
+    // ------------------------------------------------------- sharding
+
+    /// A star: `leaves` clients around a hub, each uploading to a
+    /// receiver app on the hub, with per-leaf byte counts.
+    fn star(leaves: usize) -> (Topology, NodeId, Vec<NodeId>) {
+        let mut b = TopologyBuilder::new();
+        let hub = b.node();
+        let mut nodes = Vec::new();
+        for i in 0..leaves {
+            let n = b.node();
+            b.duplex(
+                n,
+                hub,
+                LinkConfig::new(2_000_000, SimDuration::from_millis(2 + i as u64)),
+            );
+            nodes.push(n);
+        }
+        (b.build(), hub, nodes)
+    }
+
+    /// (message arrivals at the hub, per-leaf drain times, cross-shard
+    /// event count)
+    type StarOutcome = (Vec<(SimTime, FlowId, u64)>, Vec<Option<SimTime>>, u64);
+
+    fn run_star(assignment: Option<Vec<u32>>, seed: u64) -> StarOutcome {
+        let (t, hub, leaves) = star(4);
+        let mut sim = match assignment {
+            None => Simulator::new(t, seed),
+            Some(a) => Simulator::new_sharded(t, seed, a),
+        };
+        for (i, &n) in leaves.iter().enumerate() {
+            sim.add_app(
+                n,
+                Box::new(Sender {
+                    dst: hub,
+                    bytes: 100_000 * (i as u64 + 1),
+                    flow: None,
+                    drained_at: None,
+                }),
+            );
+        }
+        sim.add_app(hub, Box::new(Receiver::default()));
+        sim.run_until(SimTime::from_secs(20));
+        let got = sim.app::<Receiver>(hub).unwrap().got.clone();
+        let drains = leaves
+            .iter()
+            .map(|&n| sim.app::<Sender>(n).unwrap().drained_at)
+            .collect();
+        (got, drains, sim.cross_shard_events())
+    }
+
+    #[test]
+    fn sharded_run_matches_single_shard_exactly() {
+        // hub + 4 leaves: single shard vs 3 shards (hub alone on 0).
+        let single = run_star(None, 11);
+        let sharded = run_star(Some(vec![0, 1, 1, 2, 2]), 11);
+        assert_eq!(single.0, sharded.0, "message arrival timelines differ");
+        assert_eq!(single.1, sharded.1, "drain times differ");
+        assert_eq!(single.2, 0, "single shard crosses no boundary");
+        assert!(sharded.2 > 0, "sharded run must exchange events");
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        // Every split of the same population agrees.
+        let a = run_star(Some(vec![0, 1, 1, 1, 1]), 23);
+        let b = run_star(Some(vec![0, 1, 2, 3, 4]), 23);
+        let c = run_star(Some(vec![0, 0, 1, 0, 1]), 23);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.0, c.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.1, c.1);
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_shard_delay_and_never_early() {
+        let (t, hub, leaves) = star(4);
+        // Leaves on shard 1: cross-shard delays are 2..5 ms, lookahead 2 ms.
+        let mut sim = Simulator::new_sharded(t, 9, vec![0, 1, 1, 1, 1]);
+        assert_eq!(sim.lookahead(), SimDuration::from_millis(2));
+        for &n in &leaves {
+            sim.add_app(
+                n,
+                Box::new(Sender {
+                    dst: hub,
+                    bytes: 50_000,
+                    flow: None,
+                    drained_at: None,
+                }),
+            );
+        }
+        sim.add_app(hub, Box::new(Receiver::default()));
+        // The engine asserts on every barrier exchange that no event is
+        // delivered before the receiving shard's clock; a violation
+        // panics the run.
+        sim.run_until(SimTime::from_secs(10));
+        assert!(sim.cross_shard_events() > 0);
+        let rx = sim.app::<Receiver>(hub).unwrap();
+        assert_eq!(rx.got.len(), 4, "all uploads completed");
+    }
+
+    #[test]
+    #[should_panic(expected = "app exploded")]
+    fn sharded_panic_propagates_instead_of_hanging() {
+        struct Bomb;
+        impl App for Bomb {
+            fn start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {
+                panic!("app exploded");
+            }
+        }
+        let (t, hub, leaves) = star(4);
+        let mut sim = Simulator::new_sharded(t, 5, vec![0, 1, 2, 1, 2]);
+        sim.add_app(leaves[0], Box::new(Bomb));
+        for &n in &leaves[1..] {
+            sim.add_app(
+                n,
+                Box::new(Sender {
+                    dst: hub,
+                    bytes: 100_000,
+                    flow: None,
+                    drained_at: None,
+                }),
+            );
+        }
+        sim.add_app(hub, Box::new(Receiver::default()));
+        // Without barrier poisoning the surviving shards would park
+        // forever and this test would hang rather than panic.
+        sim.run_until(SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "no lookahead")]
+    fn zero_delay_cross_shard_link_is_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node();
+        let z = b.node();
+        b.duplex(a, z, LinkConfig::new(1_000_000, SimDuration::ZERO));
+        Simulator::new_sharded(b.build(), 1, vec![0, 1]);
     }
 }

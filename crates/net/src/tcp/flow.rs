@@ -228,6 +228,19 @@ impl Flow {
             self.snd_una = cum;
             self.dup_acks = 0;
 
+            // Drop fully-acked message boundaries: on a split sender half
+            // nothing ever consumes them (delivery runs on the receiver
+            // half), and on a combined instance delivery has already
+            // popped everything at or below the acked watermark, so this
+            // only bounds memory.
+            while self
+                .boundaries
+                .front()
+                .is_some_and(|&(end, _)| end <= self.snd_una)
+            {
+                self.boundaries.pop_front();
+            }
+
             // RTT sample (Karn's rule: the probe is invalidated whenever the
             // probed range is retransmitted).
             if let Some((end, sent)) = self.rtt_probe {
@@ -305,6 +318,16 @@ impl Flow {
         self.snd_nxt = self.snd_una;
         self.pump_retransmission(out);
         self.update_timer(out);
+    }
+
+    /// Record a message boundary on the receiver half of a split flow:
+    /// the stream byte range ending at `end` completes the message tagged
+    /// `tag`. The sharded engine replicates the sender's [`Flow::write`]
+    /// boundaries to the receiver's shard through this (boundary records
+    /// travel at the path's propagation delay, so they always precede the
+    /// data bytes they frame).
+    pub fn note_boundary(&mut self, end: u64, tag: u64) {
+        self.boundaries.push_back((end, tag));
     }
 
     /// A data segment `[offset, offset+len)` arrived at the receiver.

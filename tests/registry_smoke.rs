@@ -16,6 +16,7 @@ fn quick(seconds: u64, seeds: u32) -> RunOptions {
         duration: Some(SimDuration::from_secs(seconds)),
         seed: 0x5ea4,
         seeds,
+        ..RunOptions::default()
     }
 }
 

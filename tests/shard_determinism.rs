@@ -1,0 +1,75 @@
+//! Shard-count invariance: the headline guarantee of the sharded engine.
+//!
+//! For every simulated registry entry, running the whole grid with
+//! `--shards 1` and `--shards 4` must produce *byte-identical* human
+//! tables and JSON reports — sharding may only change wall-clock time,
+//! never results. (The lookahead-barrier "never deliver early" property
+//! is asserted inside the engine on every exchange and unit-tested in
+//! `speakup-net`.)
+
+use speakup_exp::driver::{entry_json, execute};
+use speakup_exp::registry::{self, RunOptions};
+use speakup_net::time::SimDuration;
+
+fn opts(seconds: u64, shards: u32) -> RunOptions {
+    RunOptions {
+        duration: Some(SimDuration::from_secs(seconds)),
+        seed: 0x5ea4,
+        seeds: 1,
+        jobs: Some(1),
+        shards,
+    }
+}
+
+#[test]
+fn every_entry_is_shard_count_invariant() {
+    for entry in registry::registry() {
+        if !entry.is_simulated() {
+            continue;
+        }
+        let single = execute(entry, &opts(2, 1));
+        let sharded = execute(entry, &opts(2, 4));
+        assert_eq!(
+            single.table, sharded.table,
+            "{}: human tables differ between --shards 1 and --shards 4",
+            entry.name
+        );
+        let a = entry_json(&single, &opts(2, 1)).pretty();
+        let b = entry_json(&sharded, &opts(2, 4)).pretty();
+        assert_eq!(
+            a, b,
+            "{}: JSON reports differ between --shards 1 and --shards 4",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn replicates_are_shard_count_invariant_too() {
+    // Seed replicates exercise the worker pool + sharding together.
+    let entry = registry::find("flash_crowd").expect("registered");
+    let mut with_seeds = opts(2, 1);
+    with_seeds.seeds = 3;
+    let mut sharded = opts(2, 3);
+    sharded.seeds = 3;
+    let a = execute(entry, &with_seeds);
+    let b = execute(entry, &sharded);
+    assert_eq!(a.table, b.table);
+    assert_eq!(
+        entry_json(&a, &with_seeds).pretty(),
+        entry_json(&b, &sharded).pretty()
+    );
+}
+
+#[test]
+fn shards_beyond_the_client_count_still_work() {
+    // More shards than clients: some loops own nothing and must still
+    // respect the barrier protocol.
+    let entry = registry::find("profiling").expect("registered");
+    let a = execute(entry, &opts(2, 1));
+    let b = execute(entry, &opts(2, 16));
+    assert_eq!(
+        entry_json(&a, &opts(2, 1)).pretty(),
+        entry_json(&b, &opts(2, 16)).pretty()
+    );
+}

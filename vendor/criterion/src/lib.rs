@@ -183,11 +183,18 @@ pub struct Bencher {
     samples: Vec<Duration>,
 }
 
+/// Whether the bench binary was invoked with `--quick` (e.g.
+/// `cargo bench -- --quick`): run a single timed iteration per bench,
+/// the CI profile for catching perf cliffs without CI-length runs.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
 impl Bencher {
-    /// Time `f`, a few iterations, recording each.
+    /// Time `f`, a few iterations (one under `--quick`), recording each.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        const ITERS: usize = 3;
-        for _ in 0..ITERS {
+        let iters = if quick_mode() { 1 } else { 3 };
+        for _ in 0..iters {
             let start = Instant::now();
             let out = f();
             self.samples.push(start.elapsed());
