@@ -26,9 +26,27 @@ fn bench_shard_scaling(c: &mut Criterion) {
         baseline.allocation.bad,
         baseline.payment_bytes_total,
     );
+    // Load balance first: with the split hub, shard 0 should hold only
+    // the thinner's share of the events (the old engine pinned the hub,
+    // every hub link, and all receiver flow halves there — about half
+    // of everything). Printed alongside the timings so regressions in
+    // placement are as visible as regressions in barrier cost.
+    for shards in [1u32, 2, 4, 8] {
+        let r = run_sharded(&scenario(), shards);
+        let total: u64 = r.shard_events.iter().sum();
+        let share = r.shard_events.first().copied().unwrap_or(0) as f64 / total.max(1) as f64;
+        println!(
+            "shard_scaling/balance: shards={shards} shard0_share={share:.3} events={:?}",
+            r.shard_events
+        );
+        assert!(
+            shards == 1 || share < 0.5,
+            "shard 0 regressed to the pre-split-hub bottleneck: {share:.3} of all events"
+        );
+    }
     let mut g = c.benchmark_group("shard_scaling");
     g.sample_size(10);
-    for shards in [1u32, 2, 4] {
+    for shards in [1u32, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &k| {
             b.iter(|| {
                 let r = run_sharded(&scenario(), k);

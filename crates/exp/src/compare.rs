@@ -176,7 +176,8 @@ pub fn options_of(golden: &Json) -> Result<(&'static registry::Entry, RunOptions
     let duration = golden
         .get("duration_s")
         .and_then(Json::as_f64)
-        .ok_or("golden file has no \"duration_s\"")?;
+        .filter(|d| d.is_finite() && *d > 0.0)
+        .ok_or("golden file needs a positive \"duration_s\" (zero-length runs have NaN rates)")?;
     let seed = golden
         .get("base_seed")
         .and_then(Json::as_u64)
@@ -339,5 +340,16 @@ mod tests {
             .field("base_seed", 1u64)
             .field("seeds", 0u64);
         assert!(options_of(&zero_seeds).is_err());
+        // A zero (or negative, or NaN-parsed-as-null) duration would
+        // re-run a rate-less experiment; reject it at load time.
+        for bad in [0.0, -5.0] {
+            let doc = Json::obj()
+                .field("experiment", "fig2")
+                .field("duration_s", bad)
+                .field("base_seed", 1u64)
+                .field("seeds", 1u64);
+            let err = options_of(&doc).err().expect("zero duration accepted");
+            assert!(err.contains("positive"), "got: {err}");
+        }
     }
 }

@@ -88,6 +88,9 @@ OPTIONS (run):
 OPTIONS (compare):
     --tol X     scale every per-metric tolerance by X (default 1)
 
+Repeated flags follow a last-wins policy: `--jobs 2 --jobs 4` runs with
+4 workers. `--secs 0` is rejected (a zero-length run has no rates).
+
 Run `speakup list` for the experiment names and their paper sections.";
 
 /// A flag's numeric argument (any value).
@@ -107,14 +110,38 @@ fn flag_positive(flag: &str, v: Option<&&String>) -> Result<u64, String> {
     })
 }
 
-/// `--jobs N`: shared by the run and compare subcommands.
-fn parse_jobs(v: Option<&&String>) -> Result<usize, String> {
-    Ok(flag_positive("--jobs", v)?.min(usize::MAX as u64) as usize)
+/// `--secs N`: a zero-length run has no time base, so every rate and
+/// utilization would be NaN (serialized as JSON `null`, which `compare`
+/// would then misread as structure drift). Rejected up front, as is any
+/// value too large for the nanosecond clock (no silent wrap).
+fn parse_secs(v: Option<&&String>) -> Result<SimDuration, String> {
+    let n = flag_num("--secs", v)?;
+    if n == 0 {
+        return Err(
+            "--secs must be at least 1: a zero-second run has no time base, so rates \
+             and utilization would be NaN"
+                .into(),
+        );
+    }
+    let nanos = n
+        .checked_mul(speakup_net::time::NANOS_PER_SEC)
+        .ok_or_else(|| format!("--secs {n} does not fit the nanosecond simulation clock"))?;
+    Ok(SimDuration::from_nanos(nanos))
 }
 
-/// `--shards K`: shared by the run and compare subcommands.
+/// `--jobs N`: shared by the run and compare subcommands. The checked
+/// conversion matters on 16/32-bit targets, where a huge u64 would
+/// otherwise truncate silently.
+fn parse_jobs(v: Option<&&String>) -> Result<usize, String> {
+    let n = flag_positive("--jobs", v)?;
+    usize::try_from(n).map_err(|_| format!("--jobs {n} does not fit this platform's usize"))
+}
+
+/// `--shards K`: shared by the run and compare subcommands. Checked
+/// like `--jobs` — out-of-range values error instead of truncating.
 fn parse_shards(v: Option<&&String>) -> Result<u32, String> {
-    Ok(flag_positive("--shards", v)?.min(u32::MAX as u64) as u32)
+    let n = flag_positive("--shards", v)?;
+    u32::try_from(n).map_err(|_| format!("--shards {n} does not fit in 32 bits"))
 }
 
 /// Parse a command line (without the program name).
@@ -145,8 +172,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--secs" => {
-                        opts.duration =
-                            Some(SimDuration::from_secs(flag_num("--secs", rest.get(i + 1))?));
+                        opts.duration = Some(parse_secs(rest.get(i + 1))?);
                         i += 2;
                     }
                     "--seed" => {
@@ -155,7 +181,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--seeds" => {
                         let k = flag_positive("--seeds", rest.get(i + 1))?;
-                        opts.seeds = k.min(u32::MAX as u64) as u32;
+                        opts.seeds = u32::try_from(k)
+                            .map_err(|_| format!("--seeds {k} does not fit in 32 bits"))?;
                         i += 2;
                     }
                     "--jobs" => {
@@ -648,6 +675,69 @@ mod tests {
         assert!(parse(&s(&["compare"])).is_err());
         assert!(parse(&s(&["compare", "x.json", "--frobnicate"])).is_err());
         assert!(parse(&s(&["compare", "x.json", "--tol", "-1"])).is_err());
+    }
+
+    #[test]
+    fn zero_second_runs_are_rejected_with_a_reason() {
+        let err = parse(&s(&["run", "fig3", "--secs", "0"])).unwrap_err();
+        assert!(err.contains("--secs must be at least 1"), "got: {err}");
+        assert!(err.contains("NaN"), "error should say why: {err}");
+        // Missing and non-numeric arguments still fail too.
+        assert!(parse(&s(&["run", "fig3", "--secs"])).is_err());
+        assert!(parse(&s(&["run", "fig3", "--secs", "ten"])).is_err());
+    }
+
+    #[test]
+    fn jobs_conversion_is_checked_not_truncating() {
+        // Larger than any usize on 16/32-bit targets: must be an error
+        // there and exact everywhere else — never a silent truncation.
+        let huge = format!("{}", u64::MAX);
+        match parse(&s(&["run", "fig3", "--jobs", &huge])) {
+            Ok(Command::Run { opts, .. }) => {
+                assert_eq!(opts.jobs, Some(u64::MAX as usize));
+                assert_eq!(opts.jobs.unwrap() as u64, u64::MAX, "truncated");
+            }
+            Ok(other) => panic!("unexpected {other:?}"),
+            Err(e) => assert!(e.contains("does not fit"), "got: {e}"),
+        }
+        // --shards and --seeds are u32 everywhere: oversized values are
+        // an error, never a silent wrap.
+        let err = parse(&s(&["run", "fig3", "--shards", &huge])).unwrap_err();
+        assert!(err.contains("does not fit"), "got: {err}");
+        let err = parse(&s(&["run", "fig3", "--seeds", &huge])).unwrap_err();
+        assert!(err.contains("does not fit"), "got: {err}");
+    }
+
+    #[test]
+    fn repeated_flags_take_the_last_value() {
+        match parse(&s(&[
+            "run", "fig3", "--jobs", "2", "--jobs", "4", "--secs", "5", "--secs", "9", "--shards",
+            "2", "--shards", "8",
+        ]))
+        .unwrap()
+        {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.jobs, Some(4));
+                assert_eq!(opts.duration, Some(SimDuration::from_secs(9)));
+                assert_eq!(opts.shards, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The policy is documented where users will look for it.
+        assert!(USAGE.contains("last-wins"));
+    }
+
+    #[test]
+    fn secs_beyond_the_nanosecond_clock_are_rejected() {
+        // u64::MAX seconds * 1e9 would wrap the nanosecond clock to an
+        // arbitrary short duration in release builds.
+        let huge = format!("{}", u64::MAX);
+        let err = parse(&s(&["run", "fig3", "--secs", &huge])).unwrap_err();
+        assert!(err.contains("does not fit"), "got: {err}");
+        // The largest representable value still parses.
+        let max_ok = u64::MAX / 1_000_000_000;
+        let cmd = parse(&s(&["run", "fig3", "--secs", &format!("{max_ok}")]));
+        assert!(cmd.is_ok());
     }
 
     #[test]

@@ -12,11 +12,18 @@
 //! A simulation can be split across `K` shard event loops
 //! ([`Simulator::new_sharded`]): each shard owns a subset of the nodes,
 //! the links leaving those nodes, its own event queue, and per-node RNG
-//! streams. Shards advance concurrently in *lookahead windows* bounded by
-//! the minimum cross-shard link propagation delay (classic conservative
-//! synchronization): any packet sent during a window arrives at another
-//! shard no earlier than the window's end, so shards only need to
-//! exchange cross-shard traffic at a barrier between windows.
+//! streams. Shards advance concurrently in *lookahead windows* (classic
+//! conservative synchronization): any event shard `j` can hand shard `i`
+//! is delayed by at least the *pairwise lookahead* `la[j][i]` — the
+//! min-plus closure, over the shard interaction graph, of the smallest
+//! propagation delay on any direct link from a `j`-owned node to an
+//! `i`-owned node (`la[i][i]` is the minimum echo cycle through peers).
+//! Each shard's window therefore ends at `min over j of
+//! (next_j + la[j][i])`, where `next_j` is shard `j`'s earliest pending
+//! event: a pair of distant shards can run hundreds of milliseconds
+//! ahead of each other even while a LAN-scale pair stays tightly
+//! coupled. Cross-shard traffic is exchanged at a barrier between
+//! windows.
 //!
 //! ## Determinism — shard-count invariance
 //!
@@ -219,6 +226,8 @@ pub struct World {
     /// Events bound for other shards, exchanged at the next barrier.
     outbox: Vec<Remote>,
     cross_shard_events: u64,
+    /// Events this shard's loop has handled (load-balance diagnostics).
+    events_processed: u64,
     /// Total packets dropped on this shard (overflow + fault).
     pub total_drops: u64,
 }
@@ -257,6 +266,7 @@ impl World {
             actions_scratch: Vec::new(),
             outbox: Vec::new(),
             cross_shard_events: 0,
+            events_processed: 0,
             total_drops: 0,
         }
     }
@@ -768,6 +778,7 @@ impl Shard {
             let (t, ev) = self.world.queue.pop().expect("peeked");
             debug_assert!(t >= self.world.now, "time went backwards");
             self.world.now = t;
+            self.world.events_processed += 1;
             self.world.handle_event(ev);
             self.dispatch_notifies();
         }
@@ -857,13 +868,19 @@ impl SpinBarrier {
     }
 }
 
+/// Sentinel for "these two shards can never hand each other an event".
+const NO_INTERACTION: u64 = u64::MAX;
+
 /// The simulator: one or more shard event loops over a shared topology.
 pub struct Simulator {
     shards: Vec<Shard>,
     assignment: Arc<Vec<u32>>,
-    /// Minimum cross-shard link delay: the conservative lookahead. With a
-    /// single shard there is no bound (`SimDuration` max).
-    lookahead: SimDuration,
+    /// Pairwise conservative lookahead, row-major `K × K` nanoseconds:
+    /// `lookahead[j * K + i]` bounds how soon shard `j` can hand shard
+    /// `i` an event ([`NO_INTERACTION`] when it never can). Built from
+    /// direct link delays and routed path delays (flow control records
+    /// travel at path propagation delay straight into the peer queue).
+    lookahead: Vec<u64>,
 }
 
 impl Simulator {
@@ -886,18 +903,7 @@ impl Simulator {
             "one shard assignment per node"
         );
         let num_shards = assignment.iter().copied().max().unwrap_or(0) as usize + 1;
-        let mut lookahead = SimDuration::from_nanos(u64::MAX);
-        for e in topology.edges() {
-            if assignment[e.from.0 as usize] != assignment[e.to.0 as usize] {
-                assert!(
-                    e.cfg.delay > SimDuration::ZERO,
-                    "cross-shard link {} -> {} has zero delay: no lookahead",
-                    e.from,
-                    e.to
-                );
-                lookahead = lookahead.min(e.cfg.delay);
-            }
-        }
+        let lookahead = Self::pairwise_lookahead(&topology, &assignment, num_shards);
         let topology = Arc::new(topology);
         let assignment = Arc::new(assignment);
         let n = topology.node_count() as usize;
@@ -919,19 +925,87 @@ impl Simulator {
         }
     }
 
+    /// Build the pairwise lookahead matrix: for each ordered shard pair
+    /// `(j, i)`, the earliest an event leaving `j` can reach `i`. Direct
+    /// `j -> i` links seed the matrix with their propagation delays; a
+    /// min-plus closure (Floyd–Warshall over the shard interaction
+    /// graph) then adds multi-hop distances. The closure lower-bounds
+    /// *every* delivery channel: a packet hops shard to shard over the
+    /// seeded links, and a flow control record (scheduled straight into
+    /// the endpoint's queue at routed-path propagation delay) crosses
+    /// each shard boundary over some link, so its delay is at least the
+    /// sum of the seeded crossings. Diagonal entries are deliberately
+    /// *not* zero: `la[i][i]` is the minimum echo cycle — how soon a
+    /// shard's own output can come back at it through its peers — which
+    /// is what bounds how far past its own queue a shard may safely run.
+    fn pairwise_lookahead(topology: &Topology, assignment: &[u32], k: usize) -> Vec<u64> {
+        let mut la = vec![NO_INTERACTION; k * k];
+        if k == 1 {
+            return la;
+        }
+        for e in topology.edges() {
+            let j = assignment[e.from.0 as usize] as usize;
+            let i = assignment[e.to.0 as usize] as usize;
+            if j != i {
+                assert!(
+                    e.cfg.delay > SimDuration::ZERO,
+                    "cross-shard link {} -> {} has zero delay: no lookahead",
+                    e.from,
+                    e.to
+                );
+                la[j * k + i] = la[j * k + i].min(e.cfg.delay.as_nanos());
+            }
+        }
+        for m in 0..k {
+            for a in 0..k {
+                for b in 0..k {
+                    let via = la[a * k + m].saturating_add(la[m * k + b]);
+                    if via < la[a * k + b] {
+                        la[a * k + b] = via;
+                    }
+                }
+            }
+        }
+        la
+    }
+
     /// Number of shard event loops.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// The conservative lookahead window (minimum cross-shard link delay).
+    /// The tightest conservative lookahead over all shard pairs (the
+    /// global window bound before the pairwise matrix; kept for
+    /// diagnostics). `SimDuration` max when nothing ever crosses.
     pub fn lookahead(&self) -> SimDuration {
-        self.lookahead
+        SimDuration::from_nanos(
+            self.lookahead
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(NO_INTERACTION),
+        )
+    }
+
+    /// The conservative lookahead from shard `from` to shard `to`:
+    /// `None` when `from` can never hand `to` an event.
+    pub fn lookahead_between(&self, from: u32, to: u32) -> Option<SimDuration> {
+        let k = self.shards.len();
+        let v = self.lookahead[from as usize * k + to as usize];
+        (v != NO_INTERACTION).then_some(SimDuration::from_nanos(v))
     }
 
     /// Total events handed across shard boundaries so far.
     pub fn cross_shard_events(&self) -> u64 {
         self.shards.iter().map(|s| s.world.cross_shard_events).sum()
+    }
+
+    /// Events processed so far, per shard loop (who is doing the work).
+    pub fn shard_event_counts(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.world.events_processed)
+            .collect()
     }
 
     /// Total packets dropped anywhere (overflow + fault).
@@ -990,7 +1064,7 @@ impl Simulator {
         }
 
         let n = self.shards.len();
-        let lookahead = self.lookahead;
+        let lookahead: &[u64] = &self.lookahead;
         let live = LIVE_SHARD_THREADS.fetch_add(n, Ordering::SeqCst) + n;
         let barrier = SpinBarrier::new(n, live);
         let inboxes: Vec<Mutex<Vec<Remote>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
@@ -1046,7 +1120,7 @@ impl Simulator {
         i: usize,
         shard: &mut Shard,
         until: SimTime,
-        lookahead: SimDuration,
+        lookahead: &[u64],
         barrier: &SpinBarrier,
         inboxes: &[Mutex<Vec<Remote>>],
         next_times: &[AtomicU64],
@@ -1100,15 +1174,29 @@ impl Simulator {
             if !barrier.wait() {
                 return;
             }
-            let t_min = next_times
-                .iter()
-                .map(|a| a.load(Ordering::SeqCst))
-                .min()
-                .expect("at least one shard");
+            // This shard's window ends where the earliest event another
+            // shard could hand it begins: the pairwise bound. The `j == i`
+            // term uses the diagonal echo-cycle distance (this shard's
+            // own output reflecting off a peer); pairs with no
+            // interaction (and idle peers, `next == MAX`) impose no
+            // bound at all, so distant or quiet shards never throttle
+            // this one the way the old single global lookahead did.
+            // One allocation-free pass: this runs once per window, often
+            // thousands of times per simulated second.
+            let mut t_min = u64::MAX;
+            let mut bound = u64::MAX;
+            for (j, a) in next_times.iter().enumerate() {
+                let next_j = a.load(Ordering::SeqCst);
+                t_min = t_min.min(next_j);
+                let la = lookahead[j * n + i];
+                if la != NO_INTERACTION {
+                    bound = bound.min(next_j.saturating_add(la));
+                }
+            }
             if t_min > until.as_nanos() {
                 break;
             }
-            let window_end = SimTime::from_nanos(t_min) + lookahead;
+            let window_end = SimTime::from_nanos(bound);
             shard.process_window(window_end, until);
             let advanced = window_end.min(until);
             if advanced > shard.world.now {
@@ -1536,6 +1624,33 @@ mod tests {
         // Without barrier poisoning the surviving shards would park
         // forever and this test would hang rather than panic.
         sim.run_until(SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn pairwise_lookahead_closes_over_shard_hops_and_echo_cycles() {
+        let (t, _hub, _leaves) = star(4);
+        // Shard 0 = hub; shard 1 = leaves with 2/3 ms links; shard 2 =
+        // leaves with 4/5 ms links.
+        let sim = Simulator::new_sharded(t, 1, vec![0, 1, 1, 2, 2]);
+        let ms = SimDuration::from_millis;
+        assert_eq!(sim.lookahead_between(1, 0), Some(ms(2)));
+        assert_eq!(sim.lookahead_between(0, 1), Some(ms(2)));
+        assert_eq!(sim.lookahead_between(2, 0), Some(ms(4)));
+        // No direct links between the leaf shards: the closure routes
+        // their distance through the hub shard.
+        assert_eq!(sim.lookahead_between(1, 2), Some(ms(6)));
+        assert_eq!(sim.lookahead_between(2, 1), Some(ms(6)));
+        // Diagonals are echo cycles (out through a peer and back), not
+        // zero: they bound how far past its own queue a shard may run.
+        assert_eq!(sim.lookahead_between(0, 0), Some(ms(4)));
+        assert_eq!(sim.lookahead_between(1, 1), Some(ms(4)));
+        assert_eq!(sim.lookahead_between(2, 2), Some(ms(8)));
+        // The legacy scalar accessor still reports the tightest bound.
+        assert_eq!(sim.lookahead(), ms(2));
+        // Single-shard simulations have no cross-shard constraint.
+        let (t, _, _) = star(2);
+        let single = Simulator::new(t, 1);
+        assert_eq!(single.lookahead_between(0, 0), None);
     }
 
     #[test]

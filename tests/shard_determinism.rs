@@ -63,8 +63,9 @@ fn replicates_are_shard_count_invariant_too() {
 
 #[test]
 fn shards_beyond_the_client_count_still_work() {
-    // More shards than clients: some loops own nothing and must still
-    // respect the barrier protocol.
+    // More shards than placement units: the runner clamps the shard
+    // count (profiling has 10 single-client groups, so 16 clamps to 11)
+    // instead of spinning node-less loops, without changing results.
     let entry = registry::find("profiling").expect("registered");
     let a = execute(entry, &opts(2, 1));
     let b = execute(entry, &opts(2, 16));
@@ -72,4 +73,31 @@ fn shards_beyond_the_client_count_still_work() {
         entry_json(&a, &opts(2, 1)).pretty(),
         entry_json(&b, &opts(2, 16)).pretty()
     );
+}
+
+#[test]
+fn oversized_shard_requests_clamp_instead_of_spinning() {
+    // Regression for the node-less-shard bug: fig2's 50 clients form 16
+    // aggregation groups, so `--shards 64` must clamp to 17 event loops
+    // (and warn once) rather than leave 47 empty shards hitting every
+    // barrier window — while staying byte-identical to a single loop.
+    let entry = registry::find("fig2").expect("registered");
+    let single = execute(entry, &opts(2, 1));
+    let oversized = execute(entry, &opts(2, 64));
+    assert_eq!(
+        single.table, oversized.table,
+        "fig2: tables differ between --shards 1 and --shards 64"
+    );
+    assert_eq!(
+        entry_json(&single, &opts(2, 1)).pretty(),
+        entry_json(&oversized, &opts(2, 64)).pretty(),
+        "fig2: JSON reports differ between --shards 1 and --shards 64"
+    );
+    for report in &oversized.reports {
+        assert_eq!(
+            report.shard_events.len(),
+            17,
+            "effective shard count should be 16 groups + infra shard 0"
+        );
+    }
 }

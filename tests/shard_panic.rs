@@ -1,0 +1,107 @@
+//! Barrier poisoning: a shard whose application panics must abort the
+//! whole run, resurfacing the *original* panic message — never hang its
+//! peers at the window-exchange barrier, and never replace the payload
+//! with a generic "a scoped thread panicked".
+//!
+//! The engine's own unit tests cover a timer-driven panic on a client
+//! shard; these exercise the remaining directions through the public
+//! API: a panic on the infrastructure shard (shard 0) while client
+//! shards are mid-stream, and a panic fired by a cross-shard message
+//! arrival (so the barrier is poisoned with peer traffic in flight).
+
+use speakup_net::link::LinkConfig;
+use speakup_net::packet::{FlowId, NodeId};
+use speakup_net::sim::{App, Ctx, Simulator};
+use speakup_net::time::{SimDuration, SimTime};
+use speakup_net::topology::{Topology, TopologyBuilder};
+
+/// Uploads one `bytes`-sized message to `dst`; big uploads keep the
+/// barriers busy, a small one delivers (and detonates a bomb) quickly.
+struct Uploader {
+    dst: NodeId,
+    bytes: u64,
+}
+
+impl App for Uploader {
+    fn start(&mut self, ctx: &mut Ctx) {
+        let f = ctx.open_default_flow(self.dst);
+        ctx.send(f, self.bytes, 1);
+    }
+}
+
+/// Panics the moment a complete message is delivered to it.
+struct MessageBomb;
+
+impl App for MessageBomb {
+    fn on_message(&mut self, _ctx: &mut Ctx, _flow: FlowId, _tag: u64) {
+        panic!("hub app exploded on message");
+    }
+}
+
+/// Panics on a timer while other shards stream traffic through it.
+struct TimerBomb;
+
+impl App for TimerBomb {
+    fn start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(SimDuration::from_millis(40), 7);
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {
+        panic!("infra shard exploded on timer");
+    }
+}
+
+/// A hub with four 2 Mbit/s leaves at 2..5 ms one-way delay.
+fn star() -> (Topology, NodeId, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let hub = b.node();
+    let leaves: Vec<NodeId> = (0..4)
+        .map(|i| {
+            let n = b.node();
+            b.duplex(
+                n,
+                hub,
+                LinkConfig::new(2_000_000, SimDuration::from_millis(2 + i)),
+            );
+            n
+        })
+        .collect();
+    (b.build(), hub, leaves)
+}
+
+#[test]
+#[should_panic(expected = "hub app exploded on message")]
+fn cross_shard_message_panic_aborts_the_run_with_its_message() {
+    let (t, hub, leaves) = star();
+    // Hub alone on shard 0; a small message from a shard-2 leaf crosses
+    // the barrier and detonates the receiver mid-window.
+    let mut sim = Simulator::new_sharded(t, 11, vec![0, 1, 1, 2, 2]);
+    for (i, &n) in leaves.iter().enumerate() {
+        // Leaf 3 (shard 2) delivers a small message within milliseconds;
+        // the rest are still mid-upload when the hub detonates.
+        let bytes = if i == 3 { 1_000 } else { 5_000_000 };
+        sim.add_app(n, Box::new(Uploader { dst: hub, bytes }));
+    }
+    sim.add_app(hub, Box::new(MessageBomb));
+    // Without barrier poisoning the three surviving shards would park
+    // forever waiting for shard 0 and this test would time out instead
+    // of observing the panic.
+    sim.run_until(SimTime::from_secs(30));
+}
+
+#[test]
+#[should_panic(expected = "infra shard exploded on timer")]
+fn shard_zero_panic_releases_streaming_client_shards() {
+    let (t, hub, leaves) = star();
+    let mut sim = Simulator::new_sharded(t, 12, vec![0, 1, 2, 3, 4]);
+    for &n in &leaves {
+        sim.add_app(
+            n,
+            Box::new(Uploader {
+                dst: hub,
+                bytes: 5_000_000,
+            }),
+        );
+    }
+    sim.add_app(hub, Box::new(TimerBomb));
+    sim.run_until(SimTime::from_secs(30));
+}
