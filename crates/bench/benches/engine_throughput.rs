@@ -1,0 +1,354 @@
+//! Engine hot-path throughput: the benchmark baseline the ROADMAP's
+//! perf trajectory is gated against.
+//!
+//! Two measurements, written to `BENCH_engine.json` at the workspace
+//! root (machine-readable, uploaded as a CI artifact so later PRs can
+//! diff against it):
+//!
+//! * **End-to-end events/sec** of fig2- and fig7-shaped workloads run
+//!   single-shard through the full engine (agents, transport, links,
+//!   timing-wheel queue, slab flow tables). This is the number that
+//!   tracks across PRs.
+//! * **Hot-path replay**: an identical fig2-shaped schedule of event
+//!   pushes, pops, per-event flow-table accesses, and RTO rearm
+//!   cancellations driven through both generations of the per-event
+//!   hot path — the timing wheel + `FlowSlab` tables of this engine,
+//!   and the pre-wheel binary heap (kept in
+//!   `speakup_net::event::reference`) + the `BTreeMap` flow/RTO tables
+//!   it ran with. The replay doubles as a differential test — both
+//!   paths must pop the byte-identical event sequence — and reports the
+//!   new hot path's speedup in isolation, independent of agent logic.
+//!
+//! Not a criterion bench: it needs its own timing loop to emit JSON.
+//! `--quick` (the CI profile) runs one timed iteration per measurement
+//! and shorter simulated runs.
+//!
+//! The JSON also carries [`PRE_PR_FIG2_EVENTS_PER_SEC`] /
+//! [`PRE_PR_FIG7_EVENTS_PER_SEC`]: the pre-wheel engine's *end-to-end*
+//! events/sec on the same workloads, measured once (this cannot be
+//! re-measured here — the wheel is now the only engine the scenarios
+//! run through) so the end-to-end speedup the wheel PR claims stays
+//! auditable from the emitted document.
+
+/// End-to-end events/sec of the pre-wheel engine (binary-heap queue +
+/// `BTreeMap` flow tables) on the same fig2/fig7 workloads as below:
+/// full profile (best of 3, 20 s simulated), single shard, measured at
+/// commit 73cde59 (the last pre-wheel commit) on the reference 1-core
+/// CI host. Both engines process byte-identical event streams (fig2:
+/// 1146506 events, fig7: 726520), so events/sec ratios are end-to-end
+/// speedups. To re-measure: check out 73cde59 and drive
+/// `runner::run` on the same scenarios with this file's timing loop.
+/// Run-to-run spread on that host is ±15%; interleaved paired
+/// measurements of the two engines put the fig2 end-to-end speedup in
+/// the 1.9–2.2× band.
+const PRE_PR_FIG2_EVENTS_PER_SEC: f64 = 1_914_426.0;
+/// See [`PRE_PR_FIG2_EVENTS_PER_SEC`].
+const PRE_PR_FIG7_EVENTS_PER_SEC: f64 = 3_242_600.0;
+
+use speakup_exp::runner::run;
+use speakup_exp::scenario::Mode;
+use speakup_exp::scenarios;
+use speakup_net::event::{reference::HeapQueue, EventQueue};
+use speakup_net::packet::{FlowId, NodeId};
+use speakup_net::rng::Pcg32;
+use speakup_net::sim::flow_id;
+use speakup_net::slab::FlowSlab;
+use speakup_net::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    sim_secs: u64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+/// Stand-in for the transport's per-flow state (`tcp::Flow` is ~this
+/// size); the replay mutates a couple of fields per event the way
+/// `on_ack`/`on_data` do.
+struct FakeFlow {
+    acked: u64,
+    delivered: u64,
+    _pad: [u64; 20],
+}
+
+impl FakeFlow {
+    fn new() -> Self {
+        FakeFlow {
+            acked: 0,
+            delivered: 0,
+            _pad: [0; 20],
+        }
+    }
+}
+
+/// One step of the recorded fig2-shaped schedule.
+enum Op {
+    /// A packet-lifecycle event for `flow`, `delay` ns after the last
+    /// popped event.
+    Push { delay: u64, lane: u64, flow: u32 },
+    /// Rearm `flow`'s RTO (cancel the armed one, push a fresh timer) —
+    /// the transport's per-ack pattern, and the pre-PR engine's
+    /// tombstone + `BTreeMap` hot spot.
+    Rearm { delay: u64, flow: u32 },
+    /// Pop the earliest event and touch its flow's table entry.
+    Pop,
+}
+
+/// Number of flows fig2 accumulates over a ~30 s run (flow state is
+/// append-only in the engine; lookups walk the full table).
+const FLOWS: usize = 12_000;
+/// Clients a fig2 population has; flow ids pack (node, per-node count).
+const NODES: u32 = 50;
+
+fn flow_of(i: u32) -> FlowId {
+    flow_id(NodeId(i % NODES), i / NODES)
+}
+
+/// A fig2-shaped schedule: steady state around `pending` in-queue
+/// events; delays mix aggregation-link transmissions (~12 µs), access
+/// propagation (~500 µs), access-link transmissions (~6 ms), and
+/// application timers; ~40% of events are acks that rearm their flow's
+/// ~1 s RTO, so both queues carry a realistic population of
+/// cancelled-but-unexpired timers. Deterministic, so both hot paths
+/// replay byte-identical operation streams.
+fn fig2_shaped_schedule(pending: usize, steps: usize) -> Vec<Op> {
+    let mut rng = Pcg32::new(0x5ea4_bee5, 1);
+    let mut ops = Vec::with_capacity(pending + 2 * steps);
+    let step = |ops: &mut Vec<Op>, rng: &mut Pcg32| {
+        let flow = rng.below(FLOWS as u32);
+        let r = rng.below(100);
+        match r {
+            0..=29 => ops.push(Op::Push {
+                delay: rng.range_u64(8_000, 16_000), // ~12 µs serialization
+                lane: flow as u64,
+                flow,
+            }),
+            30..=49 => ops.push(Op::Push {
+                delay: rng.range_u64(400_000, 600_000), // ~500 µs propagation
+                lane: flow as u64,
+                flow,
+            }),
+            50..=54 => ops.push(Op::Push {
+                delay: rng.range_u64(20_000_000, 80_000_000), // app timers
+                lane: (1 << 32) | flow as u64,
+                flow,
+            }),
+            55..=59 => ops.push(Op::Push {
+                delay: rng.range_u64(5_000_000, 7_000_000), // ~6 ms access tx
+                lane: flow as u64,
+                flow,
+            }),
+            _ => ops.push(Op::Rearm {
+                delay: rng.range_u64(900_000_000, 1_100_000_000), // ~1 s RTO
+                flow,
+            }),
+        }
+    };
+    for _ in 0..pending {
+        step(&mut ops, &mut rng);
+    }
+    for _ in 0..steps {
+        ops.push(Op::Pop);
+        step(&mut ops, &mut rng);
+    }
+    ops
+}
+
+/// Replay through this engine's hot path: timing wheel + `FlowSlab`.
+/// Returns (pops, checksum).
+fn replay_wheel_slab(ops: &[Op]) -> (u64, u64) {
+    let mut q = EventQueue::new();
+    let mut table: FlowSlab<FakeFlow> = FlowSlab::new(NODES as usize);
+    let mut rto: FlowSlab<_> = FlowSlab::new(NODES as usize);
+    for i in 0..FLOWS as u32 {
+        table.insert(flow_of(i), FakeFlow::new());
+    }
+    let mut now = SimTime::ZERO;
+    let (mut pops, mut checksum) = (0u64, 0u64);
+    for op in ops {
+        match *op {
+            Op::Push { delay, lane, flow } => {
+                q.push_lane(now + SimDuration::from_nanos(delay), lane, flow);
+            }
+            Op::Rearm { delay, flow } => {
+                let id = flow_of(flow);
+                if let Some(h) = rto.take(id) {
+                    q.cancel(h);
+                }
+                let h = q.push_lane_handle(now + SimDuration::from_nanos(delay), flow as u64, flow);
+                rto.insert(id, h);
+            }
+            Op::Pop => {
+                if let Some((t, flow)) = q.pop() {
+                    now = t;
+                    pops += 1;
+                    let f = table.get_mut(flow_of(flow)).expect("replay flow");
+                    f.acked += t.as_nanos() & 0xff;
+                    f.delivered += 1;
+                    checksum = checksum
+                        .wrapping_mul(0x100_0000_01b3)
+                        .wrapping_add(t.as_nanos() ^ flow as u64);
+                }
+            }
+        }
+    }
+    (pops, checksum)
+}
+
+/// Replay through the pre-PR hot path: binary heap with tombstone
+/// cancellation + `BTreeMap` flow/RTO tables.
+fn replay_heap_btreemap(ops: &[Op]) -> (u64, u64) {
+    let mut q = HeapQueue::new();
+    let mut table: BTreeMap<FlowId, FakeFlow> = BTreeMap::new();
+    let mut rto = BTreeMap::new();
+    for i in 0..FLOWS as u32 {
+        table.insert(flow_of(i), FakeFlow::new());
+    }
+    let mut now = SimTime::ZERO;
+    let (mut pops, mut checksum) = (0u64, 0u64);
+    for op in ops {
+        match *op {
+            Op::Push { delay, lane, flow } => {
+                q.push_lane(now + SimDuration::from_nanos(delay), lane, flow);
+            }
+            Op::Rearm { delay, flow } => {
+                let id = flow_of(flow);
+                if let Some(h) = rto.remove(&id) {
+                    q.cancel(h);
+                }
+                let h = q.push_lane(now + SimDuration::from_nanos(delay), flow as u64, flow);
+                rto.insert(id, h);
+            }
+            Op::Pop => {
+                if let Some((t, flow)) = q.pop() {
+                    now = t;
+                    pops += 1;
+                    let f = table.get_mut(&flow_of(flow)).expect("replay flow");
+                    f.acked += t.as_nanos() & 0xff;
+                    f.delivered += 1;
+                    checksum = checksum
+                        .wrapping_mul(0x100_0000_01b3)
+                        .wrapping_add(t.as_nanos() ^ flow as u64);
+                }
+            }
+        }
+    }
+    (pops, checksum)
+}
+
+fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 1 } else { 3 };
+    let sim_secs = if quick { 5 } else { 20 };
+
+    // ---- end-to-end engine throughput ----
+    let shapes = [
+        ("fig2", scenarios::fig2(0.5, Mode::Auction)),
+        ("fig7", scenarios::fig7(false)),
+    ];
+    let mut workloads = Vec::new();
+    for (name, mut sc) in shapes {
+        sc.duration = SimDuration::from_secs(sim_secs);
+        let (wall, events) = best_of(iters, || {
+            let r = run(&sc);
+            r.shard_events.iter().sum::<u64>()
+        });
+        let events_per_sec = events as f64 / wall;
+        println!(
+            "engine_throughput/{name}: {events} events in {wall:.3}s = {events_per_sec:.0} events/sec"
+        );
+        workloads.push(Workload {
+            name,
+            sim_secs,
+            events,
+            events_per_sec,
+        });
+    }
+
+    // ---- hot-path replay: wheel + slab vs pre-PR heap + BTreeMap ----
+    let steps = if quick { 1_000_000 } else { 4_000_000 };
+    let ops = fig2_shaped_schedule(1_000, steps);
+    let (new_wall, (new_pops, new_sum)) = best_of(iters, || replay_wheel_slab(&ops));
+    let (old_wall, (old_pops, old_sum)) = best_of(iters, || replay_heap_btreemap(&ops));
+    assert_eq!(
+        (new_pops, new_sum),
+        (old_pops, old_sum),
+        "timing wheel diverged from the reference heap on the replay schedule"
+    );
+    let new_rate = new_pops as f64 / new_wall;
+    let old_rate = old_pops as f64 / old_wall;
+    let speedup = new_rate / old_rate;
+    println!(
+        "engine_throughput/hot_path_replay: wheel+slab {new_rate:.0} ev/s, pre-PR heap+btreemap {old_rate:.0} ev/s, speedup {speedup:.2}x"
+    );
+
+    // ---- BENCH_engine.json at the workspace root ----
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"speakup-bench-engine/1\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |c| c.get())
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"sim_secs\": {}, \"events\": {}, \"events_per_sec\": {:.0}}}",
+            w.name, w.sim_secs, w.events, w.events_per_sec
+        );
+        json.push_str(if i + 1 < workloads.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    // End-to-end speedups vs the frozen pre-wheel baseline are only
+    // meaningful profile-matched (full vs full); quick runs emit null.
+    let e2e = |name: &str, baseline: f64| -> String {
+        if quick {
+            return "null".into();
+        }
+        workloads
+            .iter()
+            .find(|w| w.name == name)
+            .map_or("null".into(), |w| {
+                format!("{:.2}", w.events_per_sec / baseline)
+            })
+    };
+    let _ = writeln!(
+        json,
+        "  \"pre_pr_heap_engine\": {{\"measured_at\": \"commit 73cde59, full profile\", \"fig2_events_per_sec\": {PRE_PR_FIG2_EVENTS_PER_SEC:.0}, \"fig7_events_per_sec\": {PRE_PR_FIG7_EVENTS_PER_SEC:.0}, \"fig2_end_to_end_speedup\": {}, \"fig7_end_to_end_speedup\": {}}},",
+        e2e("fig2", PRE_PR_FIG2_EVENTS_PER_SEC),
+        e2e("fig7", PRE_PR_FIG7_EVENTS_PER_SEC)
+    );
+    let _ = writeln!(
+        json,
+        "  \"hot_path_replay\": {{\"schedule_pops\": {new_pops}, \"wheel_slab_events_per_sec\": {new_rate:.0}, \"heap_btreemap_events_per_sec\": {old_rate:.0}, \"speedup\": {speedup:.2}}}"
+    );
+    json.push_str("}\n");
+    // The committed BENCH_engine.json is the full-profile baseline future
+    // PRs diff against; `--quick` runs (CI, local smoke) are measured
+    // under an incomparable profile and go to a sibling file so they can
+    // never clobber or masquerade as the baseline.
+    let path = if quick {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json")
+    };
+    std::fs::write(path, &json).expect("write BENCH_engine json");
+    println!("engine_throughput: wrote {path}");
+}

@@ -128,6 +128,12 @@ pub struct Scenario {
     /// *access links* are the binding constraint, which is the regime the
     /// paper analyzes.
     pub hub_link: LinkConfig,
+    /// Upper bound on aggregation subgroups per access-delay class — the
+    /// parallelism ceiling for a delay-homogeneous population (default
+    /// [`crate::runner::HUB_SUBGROUPS_PER_CLASS`]). Part of the scenario,
+    /// not the CLI, so the topology never depends on `--shards`; raise it
+    /// when a host with more cores than the default cap shows up.
+    pub hub_subgroups_per_class: usize,
 }
 
 impl Scenario {
@@ -143,6 +149,7 @@ impl Scenario {
             bottleneck: None,
             web: None,
             hub_link: LinkConfig::new(1_000_000_000, SimDuration::from_micros(100)),
+            hub_subgroups_per_class: crate::runner::HUB_SUBGROUPS_PER_CLASS,
         }
     }
 
@@ -161,6 +168,13 @@ impl Scenario {
     /// Set the seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Raise (or lower) the aggregation-subgroup cap per delay class.
+    pub fn hub_subgroups_per_class(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "at least one subgroup per delay class");
+        self.hub_subgroups_per_class = cap;
         self
     }
 

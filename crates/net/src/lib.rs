@@ -61,6 +61,7 @@ pub mod link;
 pub mod packet;
 pub mod rng;
 pub mod sim;
+pub mod slab;
 pub mod tcp;
 pub mod time;
 pub mod topology;

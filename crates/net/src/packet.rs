@@ -18,6 +18,25 @@ pub struct LinkId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowId(pub u32);
 
+/// Bits of a [`FlowId`] holding the opening node's per-node flow
+/// counter; the remaining high bits hold the node id (see
+/// [`crate::sim::flow_id`] for the allocation scheme).
+pub const FLOW_NTH_BITS: u32 = 20;
+
+impl FlowId {
+    /// The opening node's id, as an index.
+    #[inline]
+    pub fn node_index(self) -> usize {
+        (self.0 >> FLOW_NTH_BITS) as usize
+    }
+
+    /// The flow's per-node counter, as an index.
+    #[inline]
+    pub fn per_node_index(self) -> usize {
+        (self.0 & ((1 << FLOW_NTH_BITS) - 1)) as usize
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)

@@ -53,13 +53,14 @@
 
 use crate::event::{EventHandle, EventQueue};
 use crate::link::{Enqueue, Link, LinkStats};
-use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind};
+use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind, FLOW_NTH_BITS};
 use crate::rng::Pcg32;
+use crate::slab::FlowSlab;
 use crate::tcp::{Flow, FlowAction, FlowConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use std::any::Any;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -104,12 +105,15 @@ pub trait App: Any + Send {
 /// ~1M flows per node — at an aggressive client's ~40 payment flows per
 /// second that is over seven simulated hours before exhaustion.
 pub fn flow_id(node: NodeId, nth: u32) -> FlowId {
-    assert!(node.0 < (1 << 12), "too many nodes for flow ids ({node})");
     assert!(
-        nth < (1 << 20),
+        node.0 < (1 << (32 - FLOW_NTH_BITS)),
+        "too many nodes for flow ids ({node})"
+    );
+    assert!(
+        nth < (1 << FLOW_NTH_BITS),
         "flow id space exhausted (node {node}, flow #{nth})"
     );
-    FlowId((node.0 << 20) | nth)
+    FlowId((node.0 << FLOW_NTH_BITS) | nth)
 }
 
 // Canonical lanes: a total order over same-time events that is identical
@@ -216,11 +220,12 @@ pub struct World {
     node_rngs: Vec<Option<Pcg32>>,
     /// Flows opened per node, for canonical id allocation.
     flow_counts: Vec<u32>,
-    /// Sender halves of flows whose source this shard owns.
-    flows_tx: BTreeMap<FlowId, Flow>,
+    /// Sender halves of flows whose source this shard owns, in dense
+    /// slabs indexed by the packed [`FlowId`] (O(1) per-packet lookup).
+    flows_tx: FlowSlab<Flow>,
     /// Receiver halves of flows whose destination this shard owns.
-    flows_rx: BTreeMap<FlowId, Flow>,
-    rto_handles: BTreeMap<FlowId, EventHandle>,
+    flows_rx: FlowSlab<Flow>,
+    rto_handles: FlowSlab<EventHandle>,
     notifies: VecDeque<Notify>,
     actions_scratch: Vec<FlowAction>,
     /// Events bound for other shards, exchanged at the next barrier.
@@ -259,9 +264,9 @@ impl World {
             link_rngs,
             node_rngs,
             flow_counts: vec![0; n],
-            flows_tx: BTreeMap::new(),
-            flows_rx: BTreeMap::new(),
-            rto_handles: BTreeMap::new(),
+            flows_tx: FlowSlab::new(n),
+            flows_rx: FlowSlab::new(n),
+            rto_handles: FlowSlab::new(n),
             notifies: VecDeque::new(),
             actions_scratch: Vec::new(),
             outbox: Vec::new(),
@@ -280,7 +285,7 @@ impl World {
     /// state, acked/written byte counts, retransmission stats.
     pub fn flow(&self, id: FlowId) -> &Flow {
         self.flows_tx
-            .get(&id)
+            .get(id)
             .unwrap_or_else(|| panic!("sender half of {id} not on this shard"))
     }
 
@@ -288,7 +293,7 @@ impl World {
     /// delivered byte counts and reassembly state.
     pub fn flow_rx(&self, id: FlowId) -> &Flow {
         self.flows_rx
-            .get(&id)
+            .get(id)
             .unwrap_or_else(|| panic!("receiver half of {id} not on this shard"))
     }
 
@@ -318,12 +323,12 @@ impl World {
     /// half (sender if the node is the source, receiver if it is the
     /// destination).
     fn flow_at(&self, node: NodeId, id: FlowId) -> &Flow {
-        if let Some(f) = self.flows_tx.get(&id) {
+        if let Some(f) = self.flows_tx.get(id) {
             if f.src == node {
                 return f;
             }
         }
-        if let Some(f) = self.flows_rx.get(&id) {
+        if let Some(f) = self.flows_rx.get(id) {
             if f.dst == node {
                 return f;
             }
@@ -405,8 +410,8 @@ impl World {
     fn flow_fields(&self, fid: FlowId) -> (NodeId, NodeId, u32, u32) {
         let f = self
             .flows_tx
-            .get(&fid)
-            .or_else(|| self.flows_rx.get(&fid))
+            .get(fid)
+            .or_else(|| self.flows_rx.get(fid))
             .unwrap_or_else(|| panic!("no half of {fid} on this shard"));
         (f.src, f.dst, f.cfg.header_bytes, f.cfg.ack_bytes)
     }
@@ -437,16 +442,18 @@ impl World {
                     self.route_packet(dst, p);
                 }
                 FlowAction::ArmRto(after) => {
-                    if let Some(h) = self.rto_handles.remove(&fid) {
+                    if let Some(h) = self.rto_handles.take(fid) {
                         self.queue.cancel(h);
                     }
-                    let h = self
-                        .queue
-                        .push_lane(self.now + after, lane_flow(fid), Event::Rto(fid));
+                    let h = self.queue.push_lane_handle(
+                        self.now + after,
+                        lane_flow(fid),
+                        Event::Rto(fid),
+                    );
                     self.rto_handles.insert(fid, h);
                 }
                 FlowAction::CancelRto => {
-                    if let Some(h) = self.rto_handles.remove(&fid) {
+                    if let Some(h) = self.rto_handles.take(fid) {
                         self.queue.cancel(h);
                     }
                 }
@@ -471,7 +478,7 @@ impl World {
     }
 
     fn abort_flow_from(&mut self, node: NodeId, id: FlowId) {
-        if let Some(f) = self.flows_tx.get_mut(&id) {
+        if let Some(f) = self.flows_tx.get_mut(id) {
             if f.src == node {
                 if f.is_aborted() {
                     return;
@@ -494,7 +501,7 @@ impl World {
                 return;
             }
         }
-        if let Some(f) = self.flows_rx.get_mut(&id) {
+        if let Some(f) = self.flows_rx.get_mut(id) {
             if f.dst == node {
                 if f.is_aborted() {
                     return;
@@ -549,11 +556,11 @@ impl World {
                 self.notifies.push_back(Notify::Timer { node, token });
             }
             Event::Rto(fid) => {
-                self.rto_handles.remove(&fid);
+                self.rto_handles.take(fid);
                 let now = self.now;
                 let mut actions = std::mem::take(&mut self.actions_scratch);
                 self.flows_tx
-                    .get_mut(&fid)
+                    .get_mut(fid)
                     .expect("RTO for a foreign flow")
                     .on_rto(now, &mut actions);
                 self.actions_scratch = actions;
@@ -564,15 +571,15 @@ impl World {
             }
             Event::FlowBoundary { id, end, tag } => {
                 self.flows_rx
-                    .get_mut(&id)
+                    .get_mut(id)
                     .expect("boundary for an unopened flow")
                     .note_boundary(end, tag);
             }
             Event::FlowAbort { id, at_receiver } => {
                 let f = if at_receiver {
-                    self.flows_rx.get_mut(&id)
+                    self.flows_rx.get_mut(id)
                 } else {
-                    self.flows_tx.get_mut(&id)
+                    self.flows_tx.get_mut(id)
                 }
                 .expect("abort for a foreign flow");
                 if f.is_aborted() {
@@ -596,13 +603,13 @@ impl World {
         match packet.kind {
             PacketKind::Data { offset, len } => {
                 self.flows_rx
-                    .get_mut(&fid)
+                    .get_mut(fid)
                     .expect("data for an unopened flow")
                     .on_data(now, offset, len, &mut actions);
             }
             PacketKind::Ack { cum } => {
                 self.flows_tx
-                    .get_mut(&fid)
+                    .get_mut(fid)
                     .expect("ack for a foreign flow")
                     .on_ack(now, cum, &mut actions);
             }
@@ -655,7 +662,7 @@ impl<'a> Ctx<'a> {
         let f = self
             .world
             .flows_tx
-            .get_mut(&flow)
+            .get_mut(flow)
             .unwrap_or_else(|| panic!("send on a flow {flow} not sent from this shard"));
         assert_eq!(f.src, self.node, "send from the wrong endpoint");
         let dst = f.dst;
@@ -687,7 +694,7 @@ impl<'a> Ctx<'a> {
 
     /// Arm a timer that fires [`App::on_timer`] with `token` after `after`.
     pub fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerHandle {
-        let h = self.world.queue.push_lane(
+        let h = self.world.queue.push_lane_handle(
             self.world.now + after,
             lane_node(self.node),
             Event::AppTimer {
