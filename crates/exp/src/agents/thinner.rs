@@ -91,6 +91,9 @@ pub struct ThinnerAgent {
     /// §5 quantum for quanta accounting, if in quantum mode.
     quantum: Option<SimDuration>,
     scratch: Vec<Directive>,
+    /// Reusable key buffer for [`ThinnerAgent::sync_all_channels`],
+    /// which runs on every server completion and tick.
+    key_scratch: Vec<RequestKey>,
     /// Collected measurements.
     pub metrics: ThinnerMetrics,
 }
@@ -122,6 +125,7 @@ impl ThinnerAgent {
             next_alias: 1 << 24,
             quantum,
             scratch: Vec::new(),
+            key_scratch: Vec::new(),
             metrics: ThinnerMetrics::default(),
         }
     }
@@ -208,21 +212,23 @@ impl ThinnerAgent {
             // retry mode feeds per-message payments elsewhere. Anything
             // that does arrive is processed all the same.
             if !out.is_empty() {
-                let drained: Vec<Directive> = std::mem::take(&mut out);
-                self.scratch = out;
-                self.execute(ctx, drained);
-            } else {
-                self.scratch = out;
+                self.execute_drain(ctx, &mut out);
             }
+            self.scratch = out;
         }
         delta
     }
 
     fn sync_all_channels(&mut self, ctx: &mut Ctx) {
-        let keys: Vec<RequestKey> = self.channels.keys().copied().collect();
-        for key in keys {
+        // Reuse the key buffer: this runs on every completion and tick,
+        // and a fresh Vec per call was measurable allocator churn.
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        keys.clear();
+        keys.extend(self.channels.keys().copied());
+        for &key in &keys {
             self.sync_channel(ctx, key);
         }
+        self.key_scratch = keys;
     }
 
     fn call_fe(
@@ -233,13 +239,16 @@ impl ThinnerAgent {
         let now = ctx.now();
         let mut out = std::mem::take(&mut self.scratch);
         f(self.fe.as_mut(), now, &mut out);
-        let directives: Vec<Directive> = std::mem::take(&mut out);
+        self.execute_drain(ctx, &mut out);
         self.scratch = out;
-        self.execute(ctx, directives);
     }
 
-    fn execute(&mut self, ctx: &mut Ctx, directives: Vec<Directive>) {
-        for d in directives {
+    /// Process and remove every directive in `directives`, leaving the
+    /// vector empty but with its capacity intact for the caller to hand
+    /// back to `scratch` (the double-`mem::take` this replaces returned
+    /// a zero-capacity buffer, costing an allocation per front-end call).
+    fn execute_drain(&mut self, ctx: &mut Ctx, directives: &mut Vec<Directive>) {
+        for d in directives.drain(..) {
             // Translate any front-end alias back to the real request.
             let d = match d {
                 Directive::Admit(k) => Directive::Admit(self.real_key(k)),
@@ -337,9 +346,8 @@ impl ThinnerAgent {
         let now = ctx.now();
         let mut out = std::mem::take(&mut self.scratch);
         let next = self.fe.on_tick(now, &mut out);
-        let directives: Vec<Directive> = std::mem::take(&mut out);
+        self.execute_drain(ctx, &mut out);
         self.scratch = out;
-        self.execute(ctx, directives);
         if let Some(h) = self.tick_timer.take() {
             ctx.cancel_timer(h);
         }

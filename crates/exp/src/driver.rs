@@ -450,6 +450,41 @@ pub fn report_json(r: &RunReport) -> Json {
         .field("per_client", per_client)
 }
 
+/// Wall-clock throughput of one executed entry's runs, as the CLI-only
+/// `perf` section. Host- and load-dependent, so it is attached by
+/// [`dispatch`] after [`entry_json`] builds the deterministic payload —
+/// the goldens and the shard-invariance tests compare the latter and
+/// must stay byte-identical across machines and `--shards`.
+pub fn perf_json(run: &EntryRun) -> Json {
+    let runs: Vec<Json> = run
+        .reports
+        .iter()
+        .map(|r| {
+            let events: u64 = r.shard_events.iter().sum();
+            let dispatch = r
+                .dispatch_counts
+                .iter()
+                .fold(Json::obj(), |o, &(name, count)| o.field(name, count));
+            Json::obj()
+                .field("name", r.name.as_str())
+                .field("seed", r.seed)
+                .field("events", events)
+                .field("wall_secs", r.wall_secs)
+                .field("events_per_sec", per_sec(events, r.wall_secs))
+                .field("dispatch", dispatch)
+        })
+        .collect();
+    Json::obj().field("runs", runs)
+}
+
+fn per_sec(events: u64, wall_secs: f64) -> f64 {
+    if wall_secs > 0.0 {
+        events as f64 / wall_secs
+    } else {
+        0.0
+    }
+}
+
 /// The machine-readable document for one executed entry.
 pub fn entry_json(run: &EntryRun, opts: &RunOptions) -> Json {
     let mut doc = Json::obj()
@@ -548,8 +583,22 @@ pub fn dispatch(
                 let run = execute(entry, opts);
                 if !*json_only {
                     write!(out, "{}", run.table)?;
+                    // Wall-clock footer: one line per run (host-dependent
+                    // diagnostics; the table above stays deterministic).
+                    for r in &run.reports {
+                        let events: u64 = r.shard_events.iter().sum();
+                        writeln!(
+                            out,
+                            "perf: {} seed {}: {} events in {:.3}s wall = {:.0} events/sec",
+                            r.name,
+                            r.seed,
+                            events,
+                            r.wall_secs,
+                            per_sec(events, r.wall_secs),
+                        )?;
+                    }
                 }
-                docs.push(entry_json(&run, opts));
+                docs.push(entry_json(&run, opts).field("perf", perf_json(&run)));
             }
             let doc = if docs.len() == 1 {
                 docs.pop().expect("one doc")

@@ -77,7 +77,17 @@ impl ClientSpec {
     }
 
     /// Inject random loss on the uplink.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1)`: an out-of-range probability used to
+    /// slip through silently (always-drop or never-drop) and only
+    /// surface as inexplicable results.
     pub fn lossy(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "client access_loss must be in [0, 1), got {p}"
+        );
         self.access_loss = p;
         self
     }
@@ -248,5 +258,29 @@ mod tests {
         assert_eq!(spec.access_bps, 500_000);
         assert_eq!(spec.access_delay, SimDuration::from_millis(50));
         assert!(spec.behind_bottleneck);
+    }
+
+    #[test]
+    fn lossy_accepts_valid_probabilities() {
+        let spec = ClientSpec::lan(ClientProfile::good()).lossy(0.05);
+        assert!((spec.access_loss - 0.05).abs() < 1e-12);
+        assert_eq!(
+            ClientSpec::lan(ClientProfile::good())
+                .lossy(0.0)
+                .access_loss,
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "access_loss must be in [0, 1)")]
+    fn lossy_rejects_certain_loss() {
+        let _ = ClientSpec::lan(ClientProfile::good()).lossy(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "access_loss must be in [0, 1)")]
+    fn lossy_rejects_negative_loss() {
+        let _ = ClientSpec::lan(ClientProfile::good()).lossy(-0.25);
     }
 }

@@ -16,7 +16,7 @@
 //!
 //! ## Structure
 //!
-//! Time (nanoseconds) is bucketed into `2^10` ns ≈ 1 µs *granules*. The
+//! Time (nanoseconds) is bucketed into `2^13` ns ≈ 8 µs *granules*. The
 //! wheel has [`LEVELS`] levels of [`SLOTS`] slots each; a slot at level
 //! `l` spans `SLOTS^l` granules, so nine levels cover the full `u64`
 //! nanosecond range with 64 slots (one occupancy bit-word) per level. An
@@ -62,8 +62,12 @@ pub struct EventHandle {
     generation: u64,
 }
 
-/// Level-0 slots cover `2^GRANULE_BITS` nanoseconds (~1 µs).
-const GRANULE_BITS: u32 = 10;
+/// Level-0 slots cover `2^GRANULE_BITS` nanoseconds (~8 µs). Widened
+/// from `2^10` when profiling showed most of the pop cost was cursor
+/// advancement over empty level-0 slots: an 8 µs granule keeps the
+/// sub-granule `ready` heap small (same-granule events at fig2 densities
+/// are a handful) while cutting slot scans per pop by 8×.
+const GRANULE_BITS: u32 = 13;
 /// log2 of the slots per level; one `u64` occupancy word per level.
 const LEVEL_BITS: u32 = 6;
 /// Slots per level.
@@ -234,6 +238,21 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.settle();
         self.ready.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest non-cancelled event if it fires strictly before
+    /// `limit`. One settle serves both the bound check and the pop,
+    /// where a `peek_time` + `pop` pairing settles twice per event —
+    /// this is the shard event loop's hot call.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        self.settle();
+        if self.ready.peek()?.time >= limit {
+            return None;
+        }
+        let e = self.ready.pop().expect("peeked");
+        self.retire(e.slot);
+        self.pending -= 1;
+        Some((e.time, e.event))
     }
 
     /// Whether nothing would fire.
@@ -557,6 +576,21 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "lane5");
         assert_eq!(q.pop().unwrap().1, "lane9");
         assert_eq!(q.pop().unwrap().1, "later");
+    }
+
+    #[test]
+    fn pop_before_respects_the_bound() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), "a");
+        let h = q.push(SimTime::from_secs(2), "b");
+        q.push(SimTime::from_secs(3), "c");
+        q.cancel(h);
+        assert_eq!(q.pop_before(SimTime::from_secs(1)), None, "strict bound");
+        assert_eq!(q.pop_before(SimTime::from_secs(2)).unwrap().1, "a");
+        // The cancelled "b" is skipped; "c" sits at the bound.
+        assert_eq!(q.pop_before(SimTime::from_secs(3)), None);
+        assert_eq!(q.pop_before(SimTime::MAX).unwrap().1, "c");
+        assert_eq!(q.pop_before(SimTime::MAX), None);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! (random drop), in the style of smoltcp's example fault injectors.
 
 use crate::packet::{NodeId, Packet};
+use crate::rng::Pcg32;
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -44,9 +45,93 @@ impl LinkConfig {
     }
 
     /// Enable random-drop fault injection with the given probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1)`. Out-of-range probabilities used to be
+    /// accepted silently (p ≥ 1 always-drops, p < 0 never-drops), which
+    /// turned scenario typos into mystery results.
     pub fn drop_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "link drop_prob must be in [0, 1), got {p}"
+        );
         self.drop_prob = p;
         self
+    }
+}
+
+/// Batched fault-injection sampler for a lossy link.
+///
+/// Replaces per-packet `rng.f64() < drop_prob` Bernoulli rolls with a
+/// next-drop countdown: the sampler eagerly scans a chunk of draws from
+/// the same PCG stream, records the run of survivals before each drop,
+/// and then answers `offer()` from the countdown without touching the
+/// RNG. The draws consumed — and therefore the decision sequence — are
+/// bit-identical to the per-packet formulation, so goldens cannot move
+/// (property-tested in `tests/drop_sampler_props.rs`).
+#[derive(Debug)]
+pub struct DropSampler {
+    rng: Pcg32,
+    drop_prob: f64,
+    /// Packets that survive before the next recorded decision.
+    survive: u32,
+    /// Whether the decision after the survival run is a drop (false only
+    /// when a scan chunk ended without finding one).
+    drop_next: bool,
+}
+
+impl DropSampler {
+    /// Draws scanned ahead per refill. Bounds refill latency at tiny
+    /// drop probabilities; each scan consumes exactly the draws whose
+    /// decisions it records, so chunking is unobservable.
+    const CHUNK: u32 = 1024;
+
+    /// A sampler for a link with the given drop probability, consuming
+    /// the link's dedicated PCG stream. Requires `drop_prob ∈ (0, 1)`:
+    /// loss-free links must skip sampling entirely rather than pay for a
+    /// degenerate sampler.
+    pub fn new(rng: Pcg32, drop_prob: f64) -> Self {
+        assert!(
+            drop_prob > 0.0 && drop_prob < 1.0,
+            "DropSampler requires drop_prob in (0, 1), got {drop_prob}"
+        );
+        DropSampler {
+            rng,
+            drop_prob,
+            survive: 0,
+            drop_next: false,
+        }
+    }
+
+    /// Decide the fate of the next offered packet: `true` means drop.
+    /// Bit-identical to `self.rng.f64() < self.drop_prob` per packet.
+    #[inline]
+    pub fn offer(&mut self) -> bool {
+        loop {
+            if self.survive > 0 {
+                self.survive -= 1;
+                return false;
+            }
+            if self.drop_next {
+                self.drop_next = false;
+                return true;
+            }
+            self.refill();
+        }
+    }
+
+    /// Scan up to [`Self::CHUNK`] draws, recording the survival run and
+    /// the terminating drop (if one occurred within the chunk).
+    fn refill(&mut self) {
+        debug_assert!(self.survive == 0 && !self.drop_next);
+        for _ in 0..Self::CHUNK {
+            if self.rng.f64() < self.drop_prob {
+                self.drop_next = true;
+                return;
+            }
+            self.survive += 1;
+        }
     }
 }
 
@@ -76,6 +161,10 @@ pub struct Link {
     queued_bytes: u64,
     /// Packet currently on the wire, if any.
     in_flight: Option<Packet>,
+    /// Last `(size, transmission time)` computed: wire sizes repeat
+    /// (full segments, pure ACKs), and the memo turns the 128-bit
+    /// division in [`SimDuration::transmission`] into a compare.
+    tx_memo: (u64, SimDuration),
     /// Counters.
     pub stats: LinkStats,
 }
@@ -95,12 +184,17 @@ pub enum Enqueue {
 impl Link {
     /// A fresh idle link delivering to `dst`.
     pub fn new(cfg: LinkConfig, dst: NodeId) -> Self {
+        // Pre-size the queue for its byte budget in full-size packets so
+        // steady-state enqueues never grow the ring (capped to keep huge
+        // queue configs from reserving memory they may never use).
+        let cap = (cfg.queue_bytes / 1500 + 1).min(4096) as usize;
         Link {
             cfg,
             dst,
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(cap),
             queued_bytes: 0,
             in_flight: None,
+            tx_memo: (0, SimDuration::ZERO),
             stats: LinkStats::default(),
         }
     }
@@ -114,7 +208,7 @@ impl Link {
         }
         if self.in_flight.is_none() {
             debug_assert!(self.queue.is_empty());
-            let tx = SimDuration::transmission(packet.size as u64, self.cfg.rate_bps);
+            let tx = self.tx_time(packet.size as u64);
             self.in_flight = Some(packet);
             return Enqueue::StartTx(tx);
         }
@@ -137,11 +231,21 @@ impl Link {
         self.stats.tx_bytes += done.size as u64;
         let next = self.queue.pop_front().map(|p| {
             self.queued_bytes -= p.size as u64;
-            let tx = SimDuration::transmission(p.size as u64, self.cfg.rate_bps);
+            let tx = self.tx_time(p.size as u64);
             self.in_flight = Some(p);
             tx
         });
         (done, next)
+    }
+
+    /// Transmission time for `bytes` on this link, memoized on the last
+    /// distinct size seen.
+    #[inline]
+    fn tx_time(&mut self, bytes: u64) -> SimDuration {
+        if self.tx_memo.0 != bytes {
+            self.tx_memo = (bytes, SimDuration::transmission(bytes, self.cfg.rate_bps));
+        }
+        self.tx_memo.1
     }
 
     /// Bytes currently waiting in the queue (excludes the in-flight packet).
@@ -271,6 +375,30 @@ mod tests {
         // 8000 bits sent; over 2 s on an 8000 bit/s link = 0.5.
         let u = l.utilization(SimDuration::from_secs(2));
         assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob must be in [0, 1)")]
+    fn drop_prob_rejects_one_or_more() {
+        let _ = LinkConfig::new(8_000, SimDuration::ZERO).drop_prob(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob must be in [0, 1)")]
+    fn drop_prob_rejects_negative() {
+        let _ = LinkConfig::new(8_000, SimDuration::ZERO).drop_prob(-0.1);
+    }
+
+    #[test]
+    fn drop_sampler_matches_per_packet_bernoulli() {
+        for &p in &[0.001, 0.05, 0.5, 0.999] {
+            let mut sampler = DropSampler::new(Pcg32::new(7, 42), p);
+            let mut reference = Pcg32::new(7, 42);
+            for i in 0..20_000 {
+                let expect = reference.f64() < p;
+                assert_eq!(sampler.offer(), expect, "p={p} packet {i}");
+            }
+        }
     }
 
     #[test]

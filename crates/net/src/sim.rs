@@ -52,7 +52,7 @@
 //!   and `K = 4` see identical timelines.
 
 use crate::event::{EventHandle, EventQueue};
-use crate::link::{Enqueue, Link, LinkStats};
+use crate::link::{DropSampler, Enqueue, Link, LinkStats};
 use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind, FLOW_NTH_BITS};
 use crate::rng::Pcg32;
 use crate::slab::FlowSlab;
@@ -97,6 +97,78 @@ pub trait App: Any + Send {
     }
 }
 
+/// A family of applications the simulator dispatches to without virtual
+/// calls.
+///
+/// The engine is generic over an `AppSet`: typically an enum over a
+/// harness's concrete [`App`] types (see `speakup-exp`'s `AppSlot`), so
+/// every per-event callback is a jump on the enum discriminant into a
+/// monomorphic — and inlinable — method, instead of a vtable hop.
+/// `Box<dyn App>` also implements `AppSet` and is the default type
+/// parameter, so `Simulator::new` keeps its dynamic-dispatch behavior
+/// for tests and downstream users that never name a set.
+///
+/// The five callback methods mirror [`App`] exactly; implementations
+/// forward to the wrapped application. The remaining methods support
+/// downcasting ([`Simulator::app`]), the boxed compatibility path
+/// ([`Simulator::add_app`]), and dispatch-share diagnostics.
+pub trait AppSet: Send + 'static {
+    /// Forward of [`App::start`].
+    fn start(&mut self, ctx: &mut Ctx);
+    /// Forward of [`App::on_message`].
+    fn on_message(&mut self, ctx: &mut Ctx, flow: FlowId, tag: u64);
+    /// Forward of [`App::on_timer`].
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64);
+    /// Forward of [`App::on_flow_drained`].
+    fn on_flow_drained(&mut self, ctx: &mut Ctx, flow: FlowId);
+    /// Forward of [`App::on_flow_aborted`].
+    fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId);
+    /// The wrapped application as `Any`, for downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable variant of [`AppSet::as_any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Wrap a boxed application (the [`Simulator::add_app`] path). Enum
+    /// sets recover the concrete type so even boxed installs dispatch
+    /// devirtualized.
+    fn from_boxed(app: Box<dyn App>) -> Self;
+    /// Which variant this value is, indexing [`AppSet::variant_names`]
+    /// (dispatch-share diagnostics).
+    fn variant_index(&self) -> usize {
+        0
+    }
+    /// Display names for the variant indices.
+    fn variant_names() -> &'static [&'static str] {
+        &["boxed"]
+    }
+}
+
+impl AppSet for Box<dyn App> {
+    fn start(&mut self, ctx: &mut Ctx) {
+        (**self).start(ctx)
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, flow: FlowId, tag: u64) {
+        (**self).on_message(ctx, flow, tag)
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        (**self).on_timer(ctx, token)
+    }
+    fn on_flow_drained(&mut self, ctx: &mut Ctx, flow: FlowId) {
+        (**self).on_flow_drained(ctx, flow)
+    }
+    fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId) {
+        (**self).on_flow_aborted(ctx, flow)
+    }
+    fn as_any(&self) -> &dyn Any {
+        &**self as &dyn Any
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        &mut **self as &mut dyn Any
+    }
+    fn from_boxed(app: Box<dyn App>) -> Self {
+        app
+    }
+}
+
 /// Compose the canonical [`FlowId`] for the `nth` flow opened by `node`.
 ///
 /// Flow ids are allocated per opening node (high 12 bits node, low 20
@@ -136,6 +208,19 @@ fn lane_ctl(f: FlowId) -> u64 {
     (3 << 32) | f.0 as u64
 }
 
+/// Lazily re-armed retransmission timer for one flow (see the
+/// `rto_timers` field). Invariant while armed: some wheel sentinel is
+/// outstanding at a time `<= deadline`, so the deadline is never missed.
+#[derive(Clone, Copy)]
+struct RtoTimer {
+    /// The armed expiry; `None` when the timer is logically cancelled.
+    deadline: Option<SimTime>,
+    /// Earliest outstanding wheel sentinel, if any. Stale sentinels are
+    /// harmless — popping one re-checks `deadline` — this just avoids
+    /// pushing a sentinel per re-arm.
+    scheduled: Option<SimTime>,
+}
+
 // RNG stream namespaces: every node and link derives its own stream from
 // the run seed, independent of sharding.
 const STREAM_NODE: u64 = 1 << 40;
@@ -153,12 +238,14 @@ enum Event {
     },
     Rto(FlowId),
     /// Control record: `src` opened `id` toward `dst`; create the
-    /// receiver half.
+    /// receiver half. The config rides boxed: opens are rare, and an
+    /// inline [`FlowConfig`] would otherwise dominate [`Event`]'s size —
+    /// which the queue copies on every place, cascade, and pop.
     FlowOpen {
         id: FlowId,
         src: NodeId,
         dst: NodeId,
-        cfg: FlowConfig,
+        cfg: Box<FlowConfig>,
     },
     /// Control record: the sender wrote a message ending at stream byte
     /// `end`, tagged `tag`.
@@ -216,7 +303,12 @@ pub struct World {
     /// Links owned by this shard (those whose source node it owns),
     /// indexed by [`LinkId`].
     links: Vec<Option<Link>>,
-    link_rngs: Vec<Option<Pcg32>>,
+    /// Fault-injection samplers, populated only for owned links with a
+    /// nonzero drop probability: loss-free links never touch an RNG on
+    /// the packet path. Each sampler consumes its link's dedicated PCG
+    /// stream exactly as per-packet Bernoulli rolls would, so the drop
+    /// sequence — and every golden — is unchanged.
+    link_faults: Vec<Option<DropSampler>>,
     node_rngs: Vec<Option<Pcg32>>,
     /// Flows opened per node, for canonical id allocation.
     flow_counts: Vec<u32>,
@@ -225,7 +317,14 @@ pub struct World {
     flows_tx: FlowSlab<Flow>,
     /// Receiver halves of flows whose destination this shard owns.
     flows_rx: FlowSlab<Flow>,
-    rto_handles: FlowSlab<EventHandle>,
+    /// Lazy per-flow retransmission timers. Re-arming on every advancing
+    /// ACK is the transport's behaviour, but cancel + re-push against the
+    /// wheel per ACK litters high wheel levels with dead entries that all
+    /// cascade and reap later. Instead the armed deadline lives here and
+    /// the wheel holds at most a couple of sentinel entries per flow: a
+    /// sentinel that pops before the real deadline re-files itself at the
+    /// deadline, so `on_rto` still runs at exactly the armed time.
+    rto_timers: FlowSlab<RtoTimer>,
     notifies: VecDeque<Notify>,
     actions_scratch: Vec<FlowAction>,
     /// Events bound for other shards, exchanged at the next barrier.
@@ -241,14 +340,16 @@ impl World {
     fn new(topology: Arc<Topology>, assignment: Arc<Vec<u32>>, shard: u32, seed: u64) -> Self {
         let n = topology.node_count() as usize;
         let mut links = Vec::with_capacity(topology.edges().len());
-        let mut link_rngs = Vec::with_capacity(topology.edges().len());
+        let mut link_faults = Vec::with_capacity(topology.edges().len());
         for (i, e) in topology.edges().iter().enumerate() {
             if assignment[e.from.0 as usize] == shard {
                 links.push(Some(Link::new(e.cfg, e.to)));
-                link_rngs.push(Some(Pcg32::new(seed, STREAM_LINK | i as u64)));
+                link_faults.push((e.cfg.drop_prob > 0.0).then(|| {
+                    DropSampler::new(Pcg32::new(seed, STREAM_LINK | i as u64), e.cfg.drop_prob)
+                }));
             } else {
                 links.push(None);
-                link_rngs.push(None);
+                link_faults.push(None);
             }
         }
         let node_rngs = (0..n)
@@ -261,12 +362,12 @@ impl World {
             topology,
             assignment,
             links,
-            link_rngs,
+            link_faults,
             node_rngs,
             flow_counts: vec![0; n],
             flows_tx: FlowSlab::new(n),
             flows_rx: FlowSlab::new(n),
-            rto_handles: FlowSlab::new(n),
+            rto_timers: FlowSlab::new(n),
             notifies: VecDeque::new(),
             actions_scratch: Vec::new(),
             outbox: Vec::new(),
@@ -377,7 +478,12 @@ impl World {
         self.schedule(
             at,
             lane_ctl(id),
-            Event::FlowOpen { id, src, dst, cfg },
+            Event::FlowOpen {
+                id,
+                src,
+                dst,
+                cfg: Box::new(cfg),
+            },
             self.shard_of(dst),
         );
         id
@@ -388,12 +494,18 @@ impl World {
             .topology
             .next_hop(at, packet.dst)
             .unwrap_or_else(|| panic!("no route {at} -> {}", packet.dst));
-        let roll = self.link_rngs[lid.0 as usize]
+        // Loss-free links (the overwhelmingly common case) skip fault
+        // sampling entirely; lossy links consult their batched sampler.
+        let dropped = match self.link_faults[lid.0 as usize].as_mut() {
+            Some(sampler) => sampler.offer(),
+            None => false,
+        };
+        let link = self.links[lid.0 as usize]
             .as_mut()
-            .expect("routing over a link this shard does not own")
-            .f64();
-        let link = self.links[lid.0 as usize].as_mut().expect("owned link");
-        match link.enqueue(packet, roll) {
+            .expect("routing over a link this shard does not own");
+        // The roll is pre-decided: 0.0 forces the drop branch, 1.0 can
+        // never drop (drop_prob < 1 is enforced at construction).
+        match link.enqueue(packet, if dropped { 0.0 } else { 1.0 }) {
             Enqueue::StartTx(tx) => {
                 self.queue
                     .push_lane(self.now + tx, lane_link(lid), Event::TxDone(lid));
@@ -417,9 +529,14 @@ impl World {
     }
 
     fn apply_flow_actions(&mut self, fid: FlowId) {
+        if self.actions_scratch.is_empty() {
+            return;
+        }
         let actions = std::mem::take(&mut self.actions_scratch);
+        // One lookup serves the whole batch: both halves agree on these
+        // fields and no action moves or retires a flow mid-batch.
+        let (src, dst, header, ack_bytes) = self.flow_fields(fid);
         for action in &actions {
-            let (src, dst, header, ack_bytes) = self.flow_fields(fid);
             match *action {
                 FlowAction::SendData { offset, len } => {
                     let p = Packet {
@@ -442,19 +559,39 @@ impl World {
                     self.route_packet(dst, p);
                 }
                 FlowAction::ArmRto(after) => {
-                    if let Some(h) = self.rto_handles.take(fid) {
-                        self.queue.cancel(h);
+                    let deadline = self.now + after;
+                    let push = match self.rto_timers.get_mut(fid) {
+                        Some(t) => {
+                            t.deadline = Some(deadline);
+                            // A sentinel at or before the deadline will
+                            // re-file itself when it pops; only a later
+                            // (or missing) one needs replacing.
+                            if t.scheduled.is_some_and(|s| s <= deadline) {
+                                false
+                            } else {
+                                t.scheduled = Some(deadline);
+                                true
+                            }
+                        }
+                        None => {
+                            self.rto_timers.insert(
+                                fid,
+                                RtoTimer {
+                                    deadline: Some(deadline),
+                                    scheduled: Some(deadline),
+                                },
+                            );
+                            true
+                        }
+                    };
+                    if push {
+                        self.queue
+                            .push_lane(deadline, lane_flow(fid), Event::Rto(fid));
                     }
-                    let h = self.queue.push_lane_handle(
-                        self.now + after,
-                        lane_flow(fid),
-                        Event::Rto(fid),
-                    );
-                    self.rto_handles.insert(fid, h);
                 }
                 FlowAction::CancelRto => {
-                    if let Some(h) = self.rto_handles.take(fid) {
-                        self.queue.cancel(h);
+                    if let Some(t) = self.rto_timers.get_mut(fid) {
+                        t.deadline = None;
                     }
                 }
                 FlowAction::Deliver { tag } => {
@@ -556,18 +693,33 @@ impl World {
                 self.notifies.push_back(Notify::Timer { node, token });
             }
             Event::Rto(fid) => {
-                self.rto_handles.take(fid);
-                let now = self.now;
-                let mut actions = std::mem::take(&mut self.actions_scratch);
-                self.flows_tx
-                    .get_mut(fid)
-                    .expect("RTO for a foreign flow")
-                    .on_rto(now, &mut actions);
-                self.actions_scratch = actions;
-                self.apply_flow_actions(fid);
+                // Sentinel pop: fire only if it reached the armed
+                // deadline; re-file it there otherwise (lazy re-arm).
+                let Some(t) = self.rto_timers.get_mut(fid) else {
+                    return;
+                };
+                t.scheduled = None;
+                match t.deadline {
+                    Some(d) if d <= self.now => {
+                        t.deadline = None;
+                        let now = self.now;
+                        let mut actions = std::mem::take(&mut self.actions_scratch);
+                        self.flows_tx
+                            .get_mut(fid)
+                            .expect("RTO for a foreign flow")
+                            .on_rto(now, &mut actions);
+                        self.actions_scratch = actions;
+                        self.apply_flow_actions(fid);
+                    }
+                    Some(d) => {
+                        t.scheduled = Some(d);
+                        self.queue.push_lane(d, lane_flow(fid), Event::Rto(fid));
+                    }
+                    None => {}
+                }
             }
             Event::FlowOpen { id, src, dst, cfg } => {
-                self.flows_rx.insert(id, Flow::new(id, src, dst, cfg));
+                self.flows_rx.insert(id, Flow::new(id, src, dst, *cfg));
             }
             Event::FlowBoundary { id, end, tag } => {
                 self.flows_rx
@@ -724,24 +876,30 @@ impl<'a> Ctx<'a> {
 }
 
 /// One shard: its slice of the world plus the applications on its nodes.
-struct Shard {
+struct Shard<S: AppSet> {
     world: World,
-    apps: Vec<Option<Box<dyn App>>>,
+    apps: Vec<Option<S>>,
     started: bool,
+    /// Callbacks delivered per app variant (dispatch-share diagnostics;
+    /// indices parallel [`AppSet::variant_names`]).
+    dispatch_counts: Vec<u64>,
 }
 
-impl Shard {
-    fn with_app<R>(&mut self, node: NodeId, f: impl FnOnce(&mut dyn App, &mut Ctx) -> R) -> R {
-        let mut app = self.apps[node.0 as usize]
-            .take()
-            .unwrap_or_else(|| panic!("no app on {node} (or reentrant dispatch)"));
+impl<S: AppSet> Shard<S> {
+    fn with_app<R>(&mut self, node: NodeId, f: impl FnOnce(&mut S, &mut Ctx) -> R) -> R {
+        // Borrowing the slot in place is safe against reentrancy because
+        // `Ctx` can only reach the world, never another app slot — and it
+        // avoids moving the (large, inline) app value out and back per
+        // callback.
+        let app = self.apps[node.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("no app on {node}"));
+        self.dispatch_counts[app.variant_index()] += 1;
         let mut ctx = Ctx {
             world: &mut self.world,
             node,
         };
-        let r = f(app.as_mut(), &mut ctx);
-        self.apps[node.0 as usize] = Some(app);
-        r
+        f(app, &mut ctx)
     }
 
     fn dispatch_notifies(&mut self) {
@@ -778,11 +936,11 @@ impl Shard {
 
     /// Process local events with `time < window_end` and `time <= until`.
     fn process_window(&mut self, window_end: SimTime, until: SimTime) {
-        while let Some(t) = self.world.queue.peek_time() {
-            if t >= window_end || t > until {
-                break;
-            }
-            let (t, ev) = self.world.queue.pop().expect("peeked");
+        // `t <= until` is `t < until + 1ns`; the add saturates, so
+        // `until = MAX` degenerates to the window bound alone (an event
+        // at exactly `u64::MAX` ns is unreachable either way).
+        let limit = window_end.min(until + SimDuration::from_nanos(1));
+        while let Some((t, ev)) = self.world.queue.pop_before(limit) {
             debug_assert!(t >= self.world.now, "time went backwards");
             self.world.now = t;
             self.world.events_processed += 1;
@@ -879,8 +1037,14 @@ impl SpinBarrier {
 const NO_INTERACTION: u64 = u64::MAX;
 
 /// The simulator: one or more shard event loops over a shared topology.
-pub struct Simulator {
-    shards: Vec<Shard>,
+///
+/// The type parameter selects the application dispatch strategy: the
+/// default `Box<dyn App>` dispatches virtually (the [`Simulator::new`]
+/// path), while an enum [`AppSet`] (installed via
+/// [`Simulator::new_sharded_slots`] + [`Simulator::add_slot`])
+/// dispatches monomorphically.
+pub struct Simulator<S: AppSet = Box<dyn App>> {
+    shards: Vec<Shard<S>>,
     assignment: Arc<Vec<u32>>,
     /// Pairwise conservative lookahead, row-major `K × K` nanoseconds:
     /// `lookahead[j * K + i]` bounds how soon shard `j` can hand shard
@@ -904,6 +1068,14 @@ impl Simulator {
     /// every assignment; see the module docs for the mechanism. Panics if
     /// any cross-shard link has zero propagation delay (no lookahead).
     pub fn new_sharded(topology: Topology, seed: u64, assignment: Vec<u32>) -> Self {
+        Self::new_sharded_slots(topology, seed, assignment)
+    }
+}
+
+impl<S: AppSet> Simulator<S> {
+    /// [`Simulator::new_sharded`] for an explicit [`AppSet`]: the entry
+    /// point harnesses use to opt into devirtualized dispatch.
+    pub fn new_sharded_slots(topology: Topology, seed: u64, assignment: Vec<u32>) -> Self {
         assert_eq!(
             assignment.len(),
             topology.node_count() as usize,
@@ -922,6 +1094,7 @@ impl Simulator {
                     world: World::new(Arc::clone(&topology), Arc::clone(&assignment), s, seed),
                     apps,
                     started: false,
+                    dispatch_counts: vec![0; S::variant_names().len()],
                 }
             })
             .collect();
@@ -1021,9 +1194,30 @@ impl Simulator {
     }
 
     /// Install an application on `node`. Replaces any previous one.
+    ///
+    /// Compatibility path: the box is handed to [`AppSet::from_boxed`],
+    /// which for enum sets recovers the concrete type (so dispatch stays
+    /// devirtualized) and for the default `Box<dyn App>` set is free.
     pub fn add_app(&mut self, node: NodeId, app: Box<dyn App>) {
+        self.add_slot(node, S::from_boxed(app));
+    }
+
+    /// Install an application on `node` as an [`AppSet`] value directly
+    /// (no box, no recovery). Replaces any previous one.
+    pub fn add_slot(&mut self, node: NodeId, app: S) {
         let shard = self.assignment[node.0 as usize] as usize;
         self.shards[shard].apps[node.0 as usize] = Some(app);
+    }
+
+    /// Callbacks delivered per app variant, summed over shards and
+    /// labeled with [`AppSet::variant_names`] (dispatch-share
+    /// diagnostics; `[("boxed", n)]` for the default set).
+    pub fn dispatch_counts(&self) -> Vec<(&'static str, u64)> {
+        S::variant_names()
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| (name, self.shards.iter().map(|s| s.dispatch_counts[i]).sum()))
+            .collect()
     }
 
     /// Read access to shard 0's world — the whole world for single-shard
@@ -1041,16 +1235,16 @@ impl Simulator {
     pub fn app<T: App>(&self, node: NodeId) -> Option<&T> {
         let shard = self.assignment[node.0 as usize] as usize;
         self.shards[shard].apps[node.0 as usize]
-            .as_deref()
-            .and_then(|a| (a as &dyn Any).downcast_ref::<T>())
+            .as_ref()
+            .and_then(|a| a.as_any().downcast_ref::<T>())
     }
 
     /// Mutable downcast of the application on `node`.
     pub fn app_mut<T: App>(&mut self, node: NodeId) -> Option<&mut T> {
         let shard = self.assignment[node.0 as usize] as usize;
         self.shards[shard].apps[node.0 as usize]
-            .as_deref_mut()
-            .and_then(|a| (a as &mut dyn Any).downcast_mut::<T>())
+            .as_mut()
+            .and_then(|a| a.as_any_mut().downcast_mut::<T>())
     }
 
     /// Run the simulation until `until` (inclusive of events at `until`).
@@ -1125,7 +1319,7 @@ impl Simulator {
     #[allow(clippy::too_many_arguments)]
     fn run_shard_loop(
         i: usize,
-        shard: &mut Shard,
+        shard: &mut Shard<S>,
         until: SimTime,
         lookahead: &[u64],
         barrier: &SpinBarrier,

@@ -337,8 +337,15 @@ impl Flow {
         }
         let end = offset + len as u64;
         if end > self.rcv_nxt {
-            self.insert_ooo(offset.max(self.rcv_nxt), end);
-            self.advance_rcv(out);
+            if offset <= self.rcv_nxt && self.ooo.is_empty() {
+                // In-order data with nothing buffered — the steady state
+                // on a loss-free path. Skip the out-of-order machinery.
+                self.rcv_nxt = end;
+                self.deliver_boundaries(out);
+            } else {
+                self.insert_ooo(offset.max(self.rcv_nxt), end);
+                self.advance_rcv(out);
+            }
         }
         self.stats.acks_sent += 1;
         out.push(FlowAction::SendAck { cum: self.rcv_nxt });
@@ -559,14 +566,14 @@ impl Flow {
         }
         let mut new_start = start;
         let mut new_end = end;
-        // Coalesce with any overlapping or adjacent ranges.
-        let overlapping: Vec<u64> = self
+        // Coalesce with overlapping or adjacent ranges, one at a time
+        // (no scratch allocation; overlaps are rare and few).
+        while let Some(s) = self
             .ooo
             .range(..=new_end)
-            .filter(|&(_, &e)| e >= new_start)
+            .find(|&(_, &e)| e >= new_start)
             .map(|(&s, _)| s)
-            .collect();
-        for s in overlapping {
+        {
             let e = self.ooo.remove(&s).expect("present");
             new_start = new_start.min(s);
             new_end = new_end.max(e);
@@ -582,6 +589,10 @@ impl Flow {
             self.ooo.remove(&s);
             self.rcv_nxt = self.rcv_nxt.max(e);
         }
+        self.deliver_boundaries(out);
+    }
+
+    fn deliver_boundaries(&mut self, out: &mut Vec<FlowAction>) {
         while let Some(&(end, tag)) = self.boundaries.front() {
             if end > self.rcv_nxt {
                 break;

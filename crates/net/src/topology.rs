@@ -81,8 +81,8 @@ impl TopologyBuilder {
         for (i, e) in self.edges.iter().enumerate() {
             adj[e.from.0 as usize].push((LinkId(i as u32), e.to));
         }
-        // next_hop[src][dst] = first link on a shortest path src -> dst.
-        let mut next_hop = vec![vec![None; n]; n];
+        // next_hop[src * n + dst] = first link on a shortest path.
+        let mut next_hop = vec![None; n * n];
         for src in 0..n {
             // BFS from src over directed edges.
             let mut dist = vec![u32::MAX; n];
@@ -102,7 +102,31 @@ impl TopologyBuilder {
             }
             for dst in 0..n {
                 if dst != src {
-                    next_hop[src][dst] = first_link[dst];
+                    next_hop[src * n + dst] = first_link[dst];
+                }
+            }
+        }
+        // Memoize end-to-end propagation delays along the exact
+        // forwarding chain (each hop re-consults its own next-hop row,
+        // which may differ from the source's BFS tree).
+        let mut path_delays = vec![None; n * n];
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let mut at = src;
+                let mut d = crate::time::SimDuration::ZERO;
+                while at != dst {
+                    let Some(lid) = next_hop[at * n + dst] else {
+                        break;
+                    };
+                    let e = &self.edges[lid.0 as usize];
+                    d += e.cfg.delay;
+                    at = e.to.0 as usize;
+                }
+                if at == dst {
+                    path_delays[src * n + dst] = Some(d);
                 }
             }
         }
@@ -110,6 +134,7 @@ impl TopologyBuilder {
             node_count: self.nodes,
             edges: self.edges,
             next_hop,
+            path_delays,
         }
     }
 }
@@ -118,8 +143,15 @@ impl TopologyBuilder {
 pub struct Topology {
     node_count: u32,
     edges: Vec<Edge>,
-    /// `next_hop[src][dst]`: the first link on the route, if reachable.
-    next_hop: Vec<Vec<Option<LinkId>>>,
+    /// `next_hop[src * n + dst]`: the first link on the route, if
+    /// reachable (flat row-major matrix: one bounds check + no pointer
+    /// chase on the per-packet forwarding lookup).
+    next_hop: Vec<Option<LinkId>>,
+    /// `path_delays[src * n + dst]`: total propagation delay along the
+    /// forwarding route, memoized at build time. The engine consults
+    /// this on every control record (flow open, message boundary,
+    /// abort), so it must not walk the route — or allocate — per call.
+    path_delays: Vec<Option<crate::time::SimDuration>>,
 }
 
 impl Topology {
@@ -134,8 +166,9 @@ impl Topology {
     }
 
     /// The outgoing link `at` should use to forward toward `dst`.
+    #[inline]
     pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.next_hop[at.0 as usize][dst.0 as usize]
+        self.next_hop[at.0 as usize * self.node_count as usize + dst.0 as usize]
     }
 
     /// Whether `dst` is reachable from `src`.
@@ -162,12 +195,11 @@ impl Topology {
     /// Sum of propagation delays along `src -> dst` (excludes transmission
     /// and queueing time).
     pub fn path_delay(&self, src: NodeId, dst: NodeId) -> Option<crate::time::SimDuration> {
-        let links = self.path(src, dst)?;
-        let mut d = crate::time::SimDuration::ZERO;
-        for l in links {
-            d += self.edges[l.0 as usize].cfg.delay;
+        let n = self.node_count as usize;
+        if src == dst {
+            return Some(crate::time::SimDuration::ZERO);
         }
-        Some(d)
+        self.path_delays[src.0 as usize * n + dst.0 as usize]
     }
 }
 

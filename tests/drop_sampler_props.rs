@@ -1,0 +1,56 @@
+//! The batched `DropSampler` must be unobservable: for any drop
+//! probability and any RNG stream, the drop/survive decision sequence
+//! it produces must be bit-identical to the per-packet
+//! `rng.f64() < drop_prob` Bernoulli formulation it replaced — that
+//! equivalence is what lets lossy-link goldens survive the batching.
+
+use proptest::prelude::*;
+use speakup_net::link::DropSampler;
+use speakup_net::rng::Pcg32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn batched_sampler_matches_per_packet_bernoulli(
+        // Spans near-degenerate extremes at both ends: drop-heavy links
+        // where every refill terminates immediately, and (below, in the
+        // refill-boundary test) rare-drop links where a refill chunk
+        // can end without finding a drop.
+        drop_prob in 1e-6f64..0.999_999,
+        seed in any::<u64>(),
+        stream in any::<u64>(),
+        packets in 1usize..4_000,
+    ) {
+        let mut sampler = DropSampler::new(Pcg32::new(seed, stream), drop_prob);
+        let mut reference = Pcg32::new(seed, stream);
+        for i in 0..packets {
+            let batched = sampler.offer();
+            let bernoulli = reference.f64() < drop_prob;
+            prop_assert_eq!(
+                batched, bernoulli,
+                "decision {} diverged (p={}, seed={}, stream={})",
+                i, drop_prob, seed, stream
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_never_reorders_across_refill_boundaries(
+        // Exercise runs much longer than one refill chunk (1024 draws)
+        // so several refills happen mid-sequence.
+        drop_prob in 1e-5f64..1e-3,
+        seed in any::<u64>(),
+    ) {
+        let mut sampler = DropSampler::new(Pcg32::new(seed, 7), drop_prob);
+        let mut reference = Pcg32::new(seed, 7);
+        let mut diverged = None;
+        for i in 0..20_000usize {
+            if sampler.offer() != (reference.f64() < drop_prob) {
+                diverged = Some(i);
+                break;
+            }
+        }
+        prop_assert_eq!(diverged, None, "p={}, seed={}", drop_prob, seed);
+    }
+}

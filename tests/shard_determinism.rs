@@ -9,6 +9,9 @@
 
 use speakup_exp::driver::{entry_json, execute};
 use speakup_exp::registry::{self, RunOptions};
+use speakup_exp::runner::run_sharded;
+use speakup_exp::scenario::Mode;
+use speakup_exp::scenarios;
 use speakup_net::time::SimDuration;
 
 fn opts(seconds: u64, shards: u32) -> RunOptions {
@@ -99,5 +102,39 @@ fn oversized_shard_requests_clamp_instead_of_spinning() {
             17,
             "effective shard count should be 16 groups + infra shard 0"
         );
+    }
+}
+
+#[test]
+fn dispatch_counts_are_shard_invariant_and_fully_devirtualized() {
+    // The devirtualized `AppSet` layer tallies events per app variant.
+    // Two checks ride on those counters: sharding must not change what
+    // gets dispatched where (the counts are part of the deterministic
+    // outcome, not a scheduling artifact), and a scenario built from
+    // registry agents must route every callback through a concrete enum
+    // variant — the `boxed` escape hatch exists for out-of-tree apps
+    // and must stay cold in every shipped scenario.
+    let mut sc = scenarios::fig2(0.5, Mode::Auction);
+    sc.duration = SimDuration::from_secs(2);
+    let single = run_sharded(&sc, 1);
+    let sharded = run_sharded(&sc, 4);
+    assert_eq!(
+        single.dispatch_counts, sharded.dispatch_counts,
+        "per-variant dispatch counts differ between --shards 1 and --shards 4"
+    );
+    let concrete: u64 = single
+        .dispatch_counts
+        .iter()
+        .filter(|(name, _)| *name != "boxed")
+        .map(|(_, n)| n)
+        .sum();
+    assert!(concrete > 0, "no concrete-variant dispatches recorded");
+    for (name, count) in &single.dispatch_counts {
+        if *name == "boxed" {
+            assert_eq!(
+                *count, 0,
+                "fig2 dispatched {count} events through the boxed fallback"
+            );
+        }
     }
 }
