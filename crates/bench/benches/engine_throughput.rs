@@ -11,6 +11,12 @@
 //!   tracks across PRs. Each workload also reports its dispatch
 //!   breakdown (events per app variant, from the devirtualized
 //!   `AppSet` counters) and its steady-state allocation rate.
+//! * **Crowd scaling** (`fig2_xl`): fig2's f=0.5 point at 10^5 clients
+//!   via flyweight cohorts, measured over a milliseconds-long window
+//!   (the workload moves ~2 x 10^8 events per simulated second).
+//!   Reports events/sec, setup time, and peak RSS (`/proc/self/status`
+//!   `VmHWM`), and asserts the RSS stays under a ceiling — the checked
+//!   form of the claim that 10^5 clients do not need 10^5 agents.
 //! * **Hot-path replay**: an identical fig2-shaped schedule of event
 //!   pushes, pops, per-event flow-table accesses, and RTO rearm
 //!   cancellations driven through both generations of the per-event
@@ -116,6 +122,27 @@ const PR4_FIG2_EVENTS_PER_SEC: f64 = 4_002_431.0;
 const PR4_FIG7_EVENTS_PER_SEC: f64 = 4_604_613.0;
 /// PR 4's hot-path replay rate (wheel + slab side), full profile.
 const PR4_REPLAY_EVENTS_PER_SEC: f64 = 9_636_320.0;
+
+/// The engine as of PR 6 (commit 8e5ba0f): devirtualized dispatch and
+/// the allocation-free hot loop, but 32-byte wheel entries, per-window
+/// cross-shard buffer churn, and no crowd abstraction — every client a
+/// full agent. Frozen from the `BENCH_engine.json` that PR committed
+/// (full profile, same 1-core host, same ±15% spread caveat) so this
+/// PR's written delta — the 32 → 24-byte `Entry` cache repack plus the
+/// cohort/SoA restructuring — stays auditable from the document alone.
+const PR6_FIG2_EVENTS_PER_SEC: f64 = 6_118_981.0;
+/// See [`PR6_FIG2_EVENTS_PER_SEC`].
+const PR6_FIG7_EVENTS_PER_SEC: f64 = 8_169_609.0;
+/// PR 6's hot-path replay rate (wheel + slab side), full profile.
+const PR6_REPLAY_EVENTS_PER_SEC: f64 = 11_026_723.0;
+
+/// Ceiling on `fig2_xl`'s peak RSS, enforced at measurement time (and
+/// re-checked against the committed document by `validate_baseline`).
+/// The flyweight-cohort population keeps 10^5 clients well under half
+/// a GB today; the ceiling leaves headroom for flow-table growth in
+/// longer runs while still catching a regression to per-member agents
+/// (which would cost an order of magnitude more).
+const XL_PEAK_RSS_CEILING_BYTES: u64 = 8 << 30;
 
 use speakup_exp::runner::run;
 use speakup_exp::scenario::Mode;
@@ -357,6 +384,21 @@ fn replay_heap_btreemap(ops: &[Op]) -> (u64, u64) {
     (pops, checksum)
 }
 
+/// Process-lifetime peak resident set, from `/proc/self/status`
+/// `VmHWM`, in bytes. Returns 0 where procfs is unavailable (non-Linux
+/// dev hosts); callers skip the RSS assertions then rather than fail.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
 fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut out = None;
@@ -444,6 +486,51 @@ fn main() {
         });
     }
 
+    // ---- fig2_xl: crowd-scaling memory/throughput baseline ----
+    // 10^5 clients of fig2's f=0.5 shape move ~2 x 10^8 events per
+    // *simulated* second (50k attackers' payment traffic saturating
+    // 100 Gbit/s of aggregate access bandwidth), so the window is
+    // milliseconds where the small workloads run whole seconds: long
+    // enough to push tens of millions of events through every cohort
+    // and measure a stable rate, short enough to finish in CI. One
+    // timed iteration — at this event count, best-of adds minutes for
+    // a rate that is already averaged over ~10^7 events.
+    let xl_ms = if quick { 40 } else { 150 };
+    let mut xl = scenarios::fig2_xl();
+    let xl_population = xl.population();
+    xl.duration = SimDuration::from_millis(xl_ms);
+    // Setup cost in isolation: a run truncated to one simulated
+    // microsecond is all topology/agent/table construction.
+    let mut xl_setup = xl.clone();
+    xl_setup.duration = SimDuration::from_micros(1);
+    let setup_start = Instant::now();
+    let _ = run(&xl_setup);
+    let xl_setup_secs = setup_start.elapsed().as_secs_f64();
+    let xl_start = Instant::now();
+    let xl_report = run(&xl);
+    let xl_wall = xl_start.elapsed().as_secs_f64();
+    let xl_events: u64 = xl_report.shard_events.iter().sum();
+    let xl_eps = xl_events as f64 / xl_wall;
+    // VmHWM is the process high-water mark; the fig2/fig7 workloads
+    // above stay under ~100 MB, so the figure is fig2_xl's.
+    let xl_rss = peak_rss_bytes();
+    if xl_rss > 0 {
+        assert!(
+            xl_rss < XL_PEAK_RSS_CEILING_BYTES,
+            "fig2_xl peaked at {} MB resident — over the {} MB ceiling; \
+             did per-member state leak back into the cohort path?",
+            xl_rss >> 20,
+            XL_PEAK_RSS_CEILING_BYTES >> 20
+        );
+    }
+    println!(
+        "engine_throughput/fig2_xl: {xl_population} clients, {xl_events} events in {xl_wall:.3}s = {xl_eps:.0} events/sec ({xl_ms} ms simulated)"
+    );
+    println!(
+        "engine_throughput/fig2_xl: setup {xl_setup_secs:.3}s, peak RSS {} MB",
+        xl_rss >> 20
+    );
+
     // ---- hot-path replay: wheel + slab vs pre-PR heap + BTreeMap ----
     let steps = if quick { 1_000_000 } else { 4_000_000 };
     let ops = fig2_shaped_schedule(1_000, steps);
@@ -473,7 +560,7 @@ fn main() {
 
     // ---- BENCH_engine.json at the workspace root ----
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"speakup-bench-engine/2\",\n");
+    json.push_str("{\n  \"schema\": \"speakup-bench-engine/3\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,
@@ -498,8 +585,21 @@ fn main() {
         json.push_str(if i + 1 < workloads.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
-    // Speedups vs the frozen baselines are only meaningful
-    // profile-matched (full vs full); quick runs emit null.
+    // Schema v3: the crowd-scaling baseline. `peak_rss_bytes` is the
+    // process VmHWM after the run (0 where procfs is absent);
+    // `setup_secs` is the one-microsecond-run construction cost.
+    let mut xl_dispatch = String::new();
+    for (variant, count) in &xl_report.dispatch_counts {
+        let _ = write!(
+            xl_dispatch,
+            "{}\"{variant}\": {count}",
+            if xl_dispatch.is_empty() { "" } else { ", " }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"fig2_xl\": {{\"population\": {xl_population}, \"sim_ms\": {xl_ms}, \"events\": {xl_events}, \"events_per_sec\": {xl_eps:.0}, \"setup_secs\": {xl_setup_secs:.3}, \"peak_rss_bytes\": {xl_rss}, \"peak_rss_ceiling_bytes\": {XL_PEAK_RSS_CEILING_BYTES}, \"dispatch\": {{{xl_dispatch}}}}},"
+    );
     let ratio = |current: Option<f64>, baseline: f64| -> String {
         match current {
             Some(c) if !quick => format!("{:.2}", c / baseline),
@@ -524,6 +624,13 @@ fn main() {
         ratio(e2e("fig2"), PR4_FIG2_EVENTS_PER_SEC),
         ratio(e2e("fig7"), PR4_FIG7_EVENTS_PER_SEC),
         ratio(Some(new_rate), PR4_REPLAY_EVENTS_PER_SEC)
+    );
+    let _ = writeln!(
+        json,
+        "  \"pr6_engine\": {{\"measured_at\": \"commit 8e5ba0f, full profile\", \"delta\": \"this PR: flyweight cohorts, dirty-flow payment sync + lazy auction heaps (both O(1), byte-identical), 32->24-byte wheel entries, recycled cross-shard buffers\", \"fig2_events_per_sec\": {PR6_FIG2_EVENTS_PER_SEC:.0}, \"fig7_events_per_sec\": {PR6_FIG7_EVENTS_PER_SEC:.0}, \"hot_path_replay_events_per_sec\": {PR6_REPLAY_EVENTS_PER_SEC:.0}, \"fig2_end_to_end_speedup\": {}, \"fig7_end_to_end_speedup\": {}, \"replay_speedup\": {}}},",
+        ratio(e2e("fig2"), PR6_FIG2_EVENTS_PER_SEC),
+        ratio(e2e("fig7"), PR6_FIG7_EVENTS_PER_SEC),
+        ratio(Some(new_rate), PR6_REPLAY_EVENTS_PER_SEC)
     );
     let _ = writeln!(
         json,

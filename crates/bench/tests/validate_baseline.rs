@@ -48,7 +48,7 @@ fn committed_baseline_is_full_profile() {
     let doc = load();
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("speakup-bench-engine/2"),
+        Some("speakup-bench-engine/3"),
         "unexpected schema"
     );
     // Quick-profile output goes to BENCH_engine.quick.json; a quick run
@@ -68,7 +68,7 @@ fn end_to_end_speedups_rederive_from_raw_fields() {
             .get("events_per_sec")
             .and_then(Json::as_f64)
             .expect("workload events_per_sec");
-        for section in ["pre_pr_heap_engine", "pr4_wheel_engine"] {
+        for section in ["pre_pr_heap_engine", "pr4_wheel_engine", "pr6_engine"] {
             assert_ratio(
                 f(&doc, section, &format!("{wl}_end_to_end_speedup")),
                 current,
@@ -89,11 +89,50 @@ fn replay_speedups_rederive_from_raw_fields() {
         f(&doc, "hot_path_replay", "heap_btreemap_events_per_sec"),
         "hot_path_replay.speedup",
     );
-    assert_ratio(
-        f(&doc, "pr4_wheel_engine", "replay_speedup"),
-        wheel,
-        f(&doc, "pr4_wheel_engine", "hot_path_replay_events_per_sec"),
-        "pr4_wheel_engine.replay_speedup",
+    for section in ["pr4_wheel_engine", "pr6_engine"] {
+        assert_ratio(
+            f(&doc, section, "replay_speedup"),
+            wheel,
+            f(&doc, section, "hot_path_replay_events_per_sec"),
+            &format!("{section}.replay_speedup"),
+        );
+    }
+}
+
+/// Schema v3's crowd-scaling baseline must carry a real measurement:
+/// the full 10^5 population, a positive event rate, a setup time, and
+/// a peak RSS inside the ceiling recorded beside it (the committed
+/// form of the bench's own assertion). The dispatch map must show the
+/// cohort fast path doing the background work and the fully simulated
+/// foreground still present — with nothing falling back to boxed
+/// dispatch.
+#[test]
+fn fig2_xl_baseline_is_sound() {
+    let doc = load();
+    assert_eq!(
+        f(&doc, "fig2_xl", "population") as u64,
+        100_000,
+        "fig2_xl population"
+    );
+    assert!(f(&doc, "fig2_xl", "events") > 0.0);
+    assert!(f(&doc, "fig2_xl", "events_per_sec") > 0.0);
+    assert!(f(&doc, "fig2_xl", "setup_secs") > 0.0);
+    let rss = f(&doc, "fig2_xl", "peak_rss_bytes");
+    let ceiling = f(&doc, "fig2_xl", "peak_rss_ceiling_bytes");
+    assert!(
+        rss > 0.0 && rss < ceiling,
+        "fig2_xl peak RSS {rss} outside (0, {ceiling})"
+    );
+    let dispatch = doc
+        .get("fig2_xl")
+        .and_then(|s| s.get("dispatch"))
+        .expect("fig2_xl dispatch map");
+    let count = |v: &str| dispatch.get(v).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(count("boxed"), 0, "fig2_xl used the boxed fallback");
+    assert!(count("cohort") > 0, "fig2_xl dispatched no cohort events");
+    assert!(
+        count("client") > 0,
+        "fig2_xl dispatched no foreground-client events"
     );
 }
 
@@ -130,7 +169,7 @@ fn dispatch_is_fully_devirtualized() {
             .get("boxed")
             .and_then(Json::as_u64)
             .expect("boxed dispatch count");
-        let concrete: u64 = ["client", "thinner", "web", "wget"]
+        let concrete: u64 = ["client", "thinner", "web", "wget", "cohort"]
             .iter()
             .map(|v| dispatch.get(v).and_then(Json::as_u64).unwrap_or(0))
             .sum();

@@ -31,12 +31,14 @@
 
 pub mod analysis;
 pub mod client;
+pub mod cohort;
 pub mod metrics;
 pub mod server;
 pub mod thinner;
 pub mod types;
 
 pub use client::{ClientProfile, ClientStats, RequestTracker};
+pub use cohort::CohortTracker;
 pub use server::EmulatedServer;
 pub use thinner::{
     AuctionConfig, AuctionFrontEnd, FrontEnd, NoDefense, ProfileConfig, ProfileFrontEnd,

@@ -28,7 +28,13 @@ pub struct ClassReport {
 impl ClassReport {
     /// Fold one client's stats into the class.
     pub fn absorb(&mut self, stats: &ClientStats) {
-        self.clients += 1;
+        self.absorb_weighted(stats, 1);
+    }
+
+    /// Fold a cohort's aggregated stats into the class, counting it as
+    /// `clients` population members.
+    pub fn absorb_weighted(&mut self, stats: &ClientStats, clients: usize) {
+        self.clients += clients;
         self.generated += stats.generated;
         self.issued += stats.issued;
         self.served += stats.served;

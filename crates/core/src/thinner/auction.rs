@@ -11,12 +11,32 @@
 //! Channels that pay without producing an admissible request are timed out
 //! after a configurable period (the prototype uses 10 s — §7.3), which is
 //! what makes bad clients waste bytes.
+//!
+//! ## Scaling
+//!
+//! With 10^5-client crowds the thinner carries 10^4–10^5 live channels,
+//! so the two per-admission/per-tick operations that used to scan every
+//! contender — picking the winner and finding the next idle expiry —
+//! became the engine's bottleneck (admissions scale with capacity, which
+//! scales with population: an O(contenders) scan per admission is O(N²)
+//! per simulated second). Both are now lazy heaps over immutable
+//! snapshots: every registration or payment pushes a fresh `(paid, seq)`
+//! bid and a fresh expiry entry, and consumers pop past *stale* entries
+//! — those that no longer match the contender's live state — until the
+//! top is current. `paid` only grows and `seq` never changes, so a
+//! contender's newest entry always outranks its stale ones, making the
+//! first current entry the exact argmax/argmin the scans computed; the
+//! results (and therefore the goldens) are bit-identical, only the cost
+//! changes. Stale buildup is bounded by rebuilding a heap whenever it
+//! exceeds 4x the live-contender count (plus slack), which amortizes to
+//! O(1) per push.
 
 use super::FrontEnd;
 use crate::types::{Directive, RequestKey};
 use speakup_net::time::{SimDuration, SimTime};
 use speakup_net::trace::Samples;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Configuration for the auction front end.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +71,46 @@ struct Contender {
     last_payment: SimTime,
 }
 
+/// A snapshot of one contender's bid, for the lazy winner heap. Stale
+/// the moment the contender pays again (its live `paid` moves past this
+/// entry's) or leaves the auction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Bid {
+    paid: u64,
+    /// Registration sequence; the tie-break (earlier wins, so *smaller*
+    /// ranks higher).
+    seq: u64,
+    req: RequestKey,
+}
+
+impl Ord for Bid {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: highest paid first, ties to the earliest registrant
+        // — the exact order `hold_auction`'s full scan used. `seq` is
+        // unique per contender, so the `req` leg never decides between
+        // two *live* entries; it only keeps the order total.
+        self.paid
+            .cmp(&other.paid)
+            .then(other.seq.cmp(&self.seq))
+            .then(other.req.cmp(&self.req))
+    }
+}
+
+impl PartialOrd for Bid {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A snapshot of one contender's idle deadline, for the lazy expiry
+/// heap (min-ordered via [`Reverse`]). Stale once the contender pays
+/// again or leaves.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Expiry {
+    at: SimTime,
+    req: RequestKey,
+}
+
 /// Observable counters for the auction front end.
 #[derive(Clone, Debug, Default)]
 pub struct AuctionStats {
@@ -71,6 +131,12 @@ pub struct AuctionFrontEnd {
     cfg: AuctionConfig,
     busy: Option<RequestKey>,
     contenders: HashMap<RequestKey, Contender>,
+    /// Lazy max-heap of bid snapshots (see the module docs' scaling
+    /// note); the top *current* entry is the auction winner.
+    bids: BinaryHeap<Bid>,
+    /// Lazy min-heap of idle-deadline snapshots; the top current entry
+    /// is the next channel expiry.
+    expiries: BinaryHeap<Reverse<Expiry>>,
     next_seq: u64,
     going_rate: u64,
     /// Counters and price samples.
@@ -84,6 +150,8 @@ impl AuctionFrontEnd {
             cfg,
             busy: None,
             contenders: HashMap::new(),
+            bids: BinaryHeap::new(),
+            expiries: BinaryHeap::new(),
             next_seq: 0,
             going_rate: 0,
             stats: AuctionStats::default(),
@@ -105,15 +173,76 @@ impl AuctionFrontEnd {
         self.contenders.get(&req).map(|c| c.paid)
     }
 
+    /// Whether a bid snapshot still describes its contender. `paid`
+    /// only grows, so a matching amount means this is the newest entry.
+    fn bid_is_current(&self, b: &Bid) -> bool {
+        self.contenders
+            .get(&b.req)
+            .is_some_and(|c| c.paid == b.paid)
+    }
+
+    /// Whether an expiry snapshot still describes its contender.
+    fn expiry_is_current(&self, e: &Expiry) -> bool {
+        self.contenders
+            .get(&e.req)
+            .is_some_and(|c| c.last_payment + self.cfg.channel_timeout == e.at)
+    }
+
+    /// Record a contender's new bid and idle deadline in the lazy heaps,
+    /// rebuilding either heap once stale entries outnumber live ones 4:1
+    /// (amortized O(1); the slack keeps tiny auctions rebuild-free).
+    fn push_snapshots(&mut self, req: RequestKey, c: Contender) {
+        let cap = 4 * self.contenders.len() + 64;
+        if self.bids.len() + 1 > cap {
+            self.bids = self
+                .contenders
+                .iter()
+                .map(|(&req, c)| Bid {
+                    paid: c.paid,
+                    seq: c.seq,
+                    req,
+                })
+                .collect();
+        }
+        if self.expiries.len() + 1 > cap {
+            self.expiries = self
+                .contenders
+                .iter()
+                .map(|(&req, c)| {
+                    Reverse(Expiry {
+                        at: c.last_payment + self.cfg.channel_timeout,
+                        req,
+                    })
+                })
+                .collect();
+        }
+        self.bids.push(Bid {
+            paid: c.paid,
+            seq: c.seq,
+            req,
+        });
+        self.expiries.push(Reverse(Expiry {
+            at: c.last_payment + self.cfg.channel_timeout,
+            req,
+        }));
+    }
+
     /// Hold the auction: admit the top payer (max paid; ties to the
-    /// earliest registrant), terminate its channel.
+    /// earliest registrant), terminate its channel. Pops stale bid
+    /// snapshots until the top is current; every live contender has a
+    /// current snapshot ranking above its stale ones, so that top is
+    /// the same winner the old full scan picked.
     fn hold_auction(&mut self, now: SimTime, out: &mut Vec<Directive>) {
         debug_assert!(self.busy.is_none());
-        let winner = self
-            .contenders
-            .iter()
-            .max_by(|(_, a), (_, b)| a.paid.cmp(&b.paid).then(b.seq.cmp(&a.seq)))
-            .map(|(k, _)| *k);
+        let winner = loop {
+            let Some(top) = self.bids.peek().copied() else {
+                break None;
+            };
+            if self.bid_is_current(&top) {
+                break Some(top.req);
+            }
+            self.bids.pop();
+        };
         let Some(winner) = winner else {
             return;
         };
@@ -129,11 +258,14 @@ impl AuctionFrontEnd {
         out.push(Directive::Admit(winner));
     }
 
-    fn next_channel_expiry(&self) -> Option<SimTime> {
-        self.contenders
-            .values()
-            .map(|c| c.last_payment + self.cfg.channel_timeout)
-            .min()
+    fn next_channel_expiry(&mut self) -> Option<SimTime> {
+        loop {
+            let &Reverse(top) = self.expiries.peek()?;
+            if self.expiry_is_current(&top) {
+                return Some(top.at);
+            }
+            self.expiries.pop();
+        }
     }
 }
 
@@ -154,15 +286,14 @@ impl FrontEnd for AuctionFrontEnd {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.contenders.insert(
-            req,
-            Contender {
-                paid: 0,
-                seq,
-                opened: now,
-                last_payment: now,
-            },
-        );
+        let c = Contender {
+            paid: 0,
+            seq,
+            opened: now,
+            last_payment: now,
+        };
+        self.contenders.insert(req, c);
+        self.push_snapshots(req, c);
         out.push(Directive::Encourage(req));
         // If the server is actually idle (possible when every prior
         // contender timed out between completions), hold an auction now.
@@ -176,6 +307,8 @@ impl FrontEnd for AuctionFrontEnd {
         if let Some(c) = self.contenders.get_mut(&req) {
             c.paid += bytes;
             c.last_payment = now;
+            let snapshot = *c;
+            self.push_snapshots(req, snapshot);
         }
         // Payment for a non-contender (late bytes after termination) is
         // ignored — exactly the "wasted bytes" effect of §7.3.
@@ -193,16 +326,25 @@ impl FrontEnd for AuctionFrontEnd {
     }
 
     fn on_tick(&mut self, now: SimTime, out: &mut Vec<Directive>) -> Option<SimTime> {
-        // Expire channels that stopped paying.
-        let timeout = self.cfg.channel_timeout;
-        let expired: Vec<RequestKey> = self
-            .contenders
-            .iter()
-            .filter(|(_, c)| now.saturating_since(c.last_payment) >= timeout)
-            .map(|(k, _)| *k)
-            .collect();
-        let mut expired = expired;
+        // Expire channels that stopped paying: drain every deadline
+        // snapshot that has come due, keeping only the current ones. A
+        // contender whose current snapshot is due is exactly one the
+        // old full scan would have caught (`now - last_payment >=
+        // timeout`); contenders that paid recently have their current
+        // snapshot still in the future. Two payments at the same
+        // instant leave duplicate current snapshots, hence the dedup.
+        let mut expired: Vec<RequestKey> = Vec::new();
+        while let Some(&Reverse(top)) = self.expiries.peek() {
+            if top.at > now {
+                break;
+            }
+            self.expiries.pop();
+            if self.expiry_is_current(&top) {
+                expired.push(top.req);
+            }
+        }
         expired.sort();
+        expired.dedup();
         for k in expired {
             self.contenders.remove(&k);
             self.stats.channel_timeouts += 1;

@@ -1,0 +1,352 @@
+//! A flyweight crowd of clients as one simulator application.
+//!
+//! [`CohortAgent`] plays N identical copies of [`ClientAgent`] from a
+//! single node: request arrivals are drawn from the *superposed* Poisson
+//! process (rate Nλ, firing member uniform — statistically exact), and
+//! per-member request bookkeeping lives in the struct-of-arrays
+//! [`CohortTracker`]. Each member runs the full §6 payment loop — its
+//! own payment channels, POSTs, retries, give-ups — distinguished on the
+//! wire by cohort-global request ids, so the thinner sees N independent
+//! well-behaved (or attacking) clients at one address.
+//!
+//! What *is* shared, and therefore approximate at N > 1:
+//!
+//! * **The access link.** The runner provisions the cohort's node with N
+//!   times one member's access rate, so aggregate bandwidth — the
+//!   quantity speak-up's auction actually meters — is exact; individual
+//!   members do not contend with each other the way N separate access
+//!   links would (they contend downstream, at the shared hub/bottleneck,
+//!   like everyone else). The flip side: a member paying alone can burst
+//!   at up to N x its real rate, so *per-request* pacing statistics —
+//!   payment times, realized auction prices, the unloaded serialization
+//!   floor under `latency.min` — are not distribution-exact at N > 1.
+//!   Aggregate allocation and served fractions are; per-request
+//!   distributions should be read off the fully simulated foreground
+//!   population (which is why `fig2_xl` keeps one).
+//! * **The request flow.** All members' 400-byte requests ride one
+//!   congestion-controlled flow to the thinner instead of N idle ones.
+//!
+//! With one member and no sharing in play, the agent is *observably
+//! identical* to a [`ClientAgent`]: same RNG stream, same wire tags,
+//! same event count (the equivalence tests pin this down).
+//!
+//! [`ClientAgent`]: crate::agents::client::ClientAgent
+
+use crate::agents::client::{ClientMetrics, PaymentMode};
+use crate::tags::{pack, sizes, unpack, Kind};
+use speakup_core::client::{ClientProfile, ClientStats};
+use speakup_core::cohort::CohortTracker;
+use speakup_core::types::{ClientId, RequestId};
+use speakup_net::ids::MemberId;
+use speakup_net::packet::{FlowId, NodeId};
+use speakup_net::rng::Pcg32;
+use speakup_net::sim::{App, Ctx};
+use speakup_net::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+const TOKEN_FIRE: u64 = u64::MAX;
+/// Give-up timer tokens carry the global request id directly (< 2^56).
+const RETRY_BATCH: u64 = 8;
+
+#[derive(Clone, Copy, Debug)]
+struct Channel {
+    flow: FlowId,
+    post_start: SimTime,
+    drained: bool,
+    got_continue: bool,
+    closed: bool,
+}
+
+/// N identical clients behind one node. See module docs.
+pub struct CohortAgent {
+    id: ClientId,
+    thinner: NodeId,
+    mode: PaymentMode,
+    tracker: CohortTracker,
+    rng: Pcg32,
+    up_flow: Option<FlowId>,
+    channels: BTreeMap<u64, Channel>,
+    flow_to_req: BTreeMap<FlowId, u64>,
+    /// Accumulated active-paying seconds and acked payment bytes, per
+    /// in-flight request (keyed by global request id).
+    paying: BTreeMap<u64, (f64, u64)>,
+    /// Cohort-aggregated client-side metrics.
+    pub metrics: ClientMetrics,
+}
+
+impl CohortAgent {
+    /// Create a cohort of `members` clients of the given profile talking
+    /// to `thinner`. `id` is the cohort's thinner-visible identity and
+    /// seeds the RNG exactly as a lone [`ClientAgent`] with that id
+    /// would be seeded — the N = 1 identity hinges on it.
+    ///
+    /// [`ClientAgent`]: crate::agents::client::ClientAgent
+    pub fn new(
+        id: ClientId,
+        thinner: NodeId,
+        profile: ClientProfile,
+        members: u32,
+        mode: PaymentMode,
+        seed: u64,
+    ) -> Self {
+        CohortAgent {
+            id,
+            thinner,
+            mode,
+            tracker: CohortTracker::new(profile, members),
+            rng: Pcg32::new(seed, 0xc11e47 ^ id.0 as u64),
+            up_flow: None,
+            channels: BTreeMap::new(),
+            flow_to_req: BTreeMap::new(),
+            paying: BTreeMap::new(),
+            metrics: ClientMetrics::default(),
+        }
+    }
+
+    /// This cohort's thinner-visible id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Number of aggregated members.
+    pub fn members(&self) -> u32 {
+        self.tracker.members()
+    }
+
+    /// Aggregated request bookkeeping results.
+    pub fn stats(&self) -> &ClientStats {
+        &self.tracker.stats
+    }
+
+    /// Draw the next superposed inter-arrival gap: N Poisson processes
+    /// of rate λ superpose to one of rate Nλ. At N = 1 this consumes
+    /// the RNG exactly like `ClientProfile::next_gap`.
+    fn schedule_fire(&mut self, ctx: &mut Ctx) {
+        let lambda_total = self.tracker.profile().lambda * self.tracker.members() as f64;
+        let gap = SimDuration::from_secs_f64(self.rng.exp(1.0 / lambda_total));
+        ctx.set_timer(gap, TOKEN_FIRE);
+    }
+
+    /// The member the current arrival belongs to — uniform by symmetry.
+    /// Draws from the RNG only when there is a choice to make, keeping
+    /// the N = 1 stream byte-identical to a lone client's.
+    fn fire_member(&mut self) -> MemberId {
+        let n = self.tracker.members();
+        if n == 1 {
+            MemberId(0)
+        } else {
+            MemberId(self.rng.below(n))
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx, id: u64) {
+        let up = self.up_flow.expect("issue before start");
+        ctx.send(up, sizes::REQUEST, pack(Kind::Request, RequestId(id)));
+        if let Some(give_up) = self.tracker.profile().give_up {
+            ctx.set_timer(give_up, id);
+        }
+    }
+
+    fn start_post(&mut self, ctx: &mut Ctx, id: u64) {
+        let flow = ctx.open_default_flow(self.thinner);
+        let post_bytes = self.tracker.profile().post_bytes;
+        ctx.send(
+            flow,
+            sizes::PAYMENT_HEADER,
+            pack(Kind::PaymentHeader, RequestId(id)),
+        );
+        ctx.send(flow, post_bytes, pack(Kind::PaymentChunk, RequestId(id)));
+        self.channels.insert(
+            id,
+            Channel {
+                flow,
+                post_start: ctx.now(),
+                drained: false,
+                got_continue: false,
+                closed: false,
+            },
+        );
+        self.flow_to_req.insert(flow, id);
+        self.paying.entry(id).or_insert((0.0, 0));
+    }
+
+    fn start_retries(&mut self, ctx: &mut Ctx, id: u64) {
+        let flow = ctx.open_default_flow(self.thinner);
+        for _ in 0..RETRY_BATCH {
+            ctx.send(
+                flow,
+                self.tracker.profile().retry_bytes,
+                pack(Kind::Retry, RequestId(id)),
+            );
+        }
+        self.channels.insert(
+            id,
+            Channel {
+                flow,
+                post_start: ctx.now(),
+                drained: false,
+                got_continue: false,
+                closed: false,
+            },
+        );
+        self.flow_to_req.insert(flow, id);
+        self.paying.entry(id).or_insert((0.0, 0));
+    }
+
+    fn try_repost(&mut self, ctx: &mut Ctx, id: u64) {
+        let Some(ch) = self.channels.get(&id) else {
+            return;
+        };
+        if ch.drained && ch.got_continue && !ch.closed {
+            self.close_channel(ctx, id, false);
+            if self.tracker.outstanding(id).is_some() {
+                self.start_post(ctx, id);
+            }
+        }
+    }
+
+    /// Stop paying for `id`. Accounts the active period; aborts the flow
+    /// if we are the ones walking away (`abort` true).
+    fn close_channel(&mut self, ctx: &mut Ctx, id: u64, abort: bool) {
+        let Some(ch) = self.channels.remove(&id) else {
+            return;
+        };
+        self.flow_to_req.remove(&ch.flow);
+        let acked = ctx.flow(ch.flow).acked_bytes();
+        let entry = self.paying.entry(id).or_insert((0.0, 0));
+        entry.1 += acked;
+        if !ch.drained {
+            entry.0 += ctx.now().saturating_since(ch.post_start).as_secs_f64();
+        }
+        if abort && !ctx.flow(ch.flow).is_aborted() {
+            ctx.abort_flow(ch.flow);
+        }
+    }
+
+    fn finish_request(&mut self, ctx: &mut Ctx, id: u64, served: bool) {
+        self.close_channel(ctx, id, true);
+        let (pay_time, pay_bytes) = self.paying.remove(&id).unwrap_or((0.0, 0));
+        let now = ctx.now();
+        let next = if served {
+            self.metrics.payment_time.push(pay_time);
+            self.metrics.payment_sent.push(pay_bytes as f64);
+            self.tracker.on_served(now, id)
+        } else {
+            self.tracker.on_dropped(now, id)
+        };
+        if let Some(n) = next {
+            self.issue(ctx, n);
+        }
+    }
+}
+
+impl App for CohortAgent {
+    fn start(&mut self, ctx: &mut Ctx) {
+        self.up_flow = Some(ctx.open_default_flow(self.thinner));
+        self.schedule_fire(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if token == TOKEN_FIRE {
+            let member = self.fire_member();
+            let now = ctx.now();
+            if let Some(id) = self.tracker.on_fire(member, now) {
+                self.issue(ctx, id);
+            }
+            self.schedule_fire(ctx);
+            return;
+        }
+        // Give-up timer for global request id `token`.
+        let now = ctx.now();
+        let overdue = self
+            .tracker
+            .outstanding(token)
+            .map(|o| {
+                self.tracker
+                    .profile()
+                    .give_up
+                    .map(|g| now.saturating_since(o.issued) >= g)
+                    .unwrap_or(false)
+            })
+            .unwrap_or(false);
+        if overdue {
+            self.close_channel(ctx, token, true);
+            self.paying.remove(&token);
+            if let Some(n) = self.tracker.on_gave_up(now, token) {
+                self.issue(ctx, n);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, _flow: FlowId, tag: u64) {
+        let (kind, rid) = unpack(tag);
+        let id = rid.0;
+        match kind {
+            Kind::Encourage
+                if self.tracker.outstanding(id).is_some() && !self.channels.contains_key(&id) =>
+            {
+                match self.mode {
+                    PaymentMode::None => {}
+                    PaymentMode::Posts => self.start_post(ctx, id),
+                    PaymentMode::Retries => self.start_retries(ctx, id),
+                }
+            }
+            Kind::Continue => {
+                if let Some(ch) = self.channels.get_mut(&id) {
+                    ch.got_continue = true;
+                }
+                self.try_repost(ctx, id);
+            }
+            Kind::Response => self.finish_request(ctx, id, true),
+            Kind::Dropped => self.finish_request(ctx, id, false),
+            _ => {}
+        }
+    }
+
+    fn on_flow_drained(&mut self, ctx: &mut Ctx, flow: FlowId) {
+        let Some(&id) = self.flow_to_req.get(&flow) else {
+            return;
+        };
+        match self.mode {
+            PaymentMode::Retries => {
+                // Keep the retry stream full while the request lives.
+                if self.tracker.outstanding(id).is_some() {
+                    let bytes = self.tracker.profile().retry_bytes;
+                    for _ in 0..RETRY_BATCH {
+                        ctx.send(flow, bytes, pack(Kind::Retry, RequestId(id)));
+                    }
+                }
+            }
+            _ => {
+                if let Some(ch) = self.channels.get_mut(&id) {
+                    if !ch.drained {
+                        ch.drained = true;
+                        let dt = ctx.now().saturating_since(ch.post_start).as_secs_f64();
+                        self.paying.entry(id).or_insert((0.0, 0)).0 += dt;
+                    }
+                }
+                self.try_repost(ctx, id);
+            }
+        }
+    }
+
+    fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId) {
+        // The thinner terminated this payment channel (auction won, drop,
+        // or §5 completion). Stop paying; the verdict arrives separately.
+        let Some(&id) = self.flow_to_req.get(&flow) else {
+            return;
+        };
+        if let Some(ch) = self.channels.get_mut(&id) {
+            ch.closed = true;
+            if !ch.drained {
+                ch.drained = true;
+                let dt = ctx.now().saturating_since(ch.post_start).as_secs_f64();
+                self.paying.entry(id).or_insert((0.0, 0)).0 += dt;
+            }
+            let acked = ctx.flow(flow).acked_bytes();
+            self.paying.entry(id).or_insert((0.0, 0)).1 += acked;
+        }
+        self.flow_to_req.remove(&flow);
+        self.channels.remove(&id);
+    }
+}

@@ -1,10 +1,11 @@
 //! Simulator applications: the thinner, clients, and Fig 9's bystanders.
 //!
 //! [`AppSlot`] is the crate's [`AppSet`]: the enum the sharded engine
-//! dispatches over so the four production agents get monomorphic (and
+//! dispatches over so the five production agents get monomorphic (and
 //! inlinable) callbacks instead of a vtable hop per event.
 
 pub mod client;
+pub mod cohort;
 pub mod thinner;
 pub mod web;
 
@@ -13,13 +14,14 @@ use speakup_net::FlowId;
 use std::any::{Any, TypeId};
 
 use client::ClientAgent;
+use cohort::CohortAgent;
 use thinner::ThinnerAgent;
 use web::{WebServerAgent, WgetAgent};
 
 /// One node's application, as a closed enum over the production agents.
 ///
 /// The engine matches on the discriminant and calls the concrete
-/// agent's method directly — zero vtable hops for the four variants the
+/// agent's method directly — zero vtable hops for the five variants the
 /// experiments install. `Boxed` is the open-world escape hatch so
 /// downstream [`App`] implementations (tests, future agents) keep
 /// working at dynamic-dispatch cost.
@@ -35,6 +37,8 @@ pub enum AppSlot {
     Web(WebServerAgent),
     /// Fig 9's bystander wget client ([`WgetAgent`]).
     Wget(WgetAgent),
+    /// A flyweight crowd of N clients ([`CohortAgent`]).
+    Cohort(CohortAgent),
     /// Open-world fallback: dynamic dispatch for foreign [`App`]s.
     Boxed(Box<dyn App>),
 }
@@ -47,6 +51,7 @@ macro_rules! each_variant {
             AppSlot::Thinner($a) => $body,
             AppSlot::Web($a) => $body,
             AppSlot::Wget($a) => $body,
+            AppSlot::Cohort($a) => $body,
             AppSlot::Boxed($a) => {
                 let $a = &mut **$a;
                 $body
@@ -78,6 +83,7 @@ impl AppSet for AppSlot {
             AppSlot::Thinner(a) => a,
             AppSlot::Web(a) => a,
             AppSlot::Wget(a) => a,
+            AppSlot::Cohort(a) => a,
             AppSlot::Boxed(a) => &**a as &dyn Any,
         }
     }
@@ -88,6 +94,7 @@ impl AppSet for AppSlot {
             AppSlot::Thinner(a) => a,
             AppSlot::Web(a) => a,
             AppSlot::Wget(a) => a,
+            AppSlot::Cohort(a) => a,
             AppSlot::Boxed(a) => &mut **a as &mut dyn Any,
         }
     }
@@ -108,6 +115,8 @@ impl AppSet for AppSlot {
             AppSlot::Web(unbox(app))
         } else if id == TypeId::of::<WgetAgent>() {
             AppSlot::Wget(unbox(app))
+        } else if id == TypeId::of::<CohortAgent>() {
+            AppSlot::Cohort(unbox(app))
         } else {
             AppSlot::Boxed(app)
         }
@@ -119,12 +128,13 @@ impl AppSet for AppSlot {
             AppSlot::Thinner(_) => 1,
             AppSlot::Web(_) => 2,
             AppSlot::Wget(_) => 3,
-            AppSlot::Boxed(_) => 4,
+            AppSlot::Cohort(_) => 4,
+            AppSlot::Boxed(_) => 5,
         }
     }
 
     fn variant_names() -> &'static [&'static str] {
-        &["client", "thinner", "web", "wget", "boxed"]
+        &["client", "thinner", "web", "wget", "cohort", "boxed"]
     }
 }
 
@@ -165,7 +175,7 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.app::<Foreign>(a).unwrap().fired, 1);
         let counts = sim.dispatch_counts();
-        assert_eq!(counts.len(), 5);
+        assert_eq!(counts.len(), 6);
         let boxed = counts.iter().find(|(n, _)| *n == "boxed").unwrap().1;
         assert_eq!(boxed, 2, "start + one timer through the fallback");
     }

@@ -78,6 +78,9 @@ pub struct ThinnerAgent {
     nodes_by_client: BTreeMap<ClientId, NodeId>,
     down_flows: BTreeMap<ClientId, FlowId>,
     channels: BTreeMap<RequestKey, Channel>,
+    /// Reverse index of `channels` (payment flow → request), for O(1)
+    /// abort handling and progress-drain lookups.
+    by_flow: BTreeMap<FlowId, RequestKey>,
     states: BTreeMap<RequestKey, ReqState>,
     /// Bytes paid per request so far (for price metrics at admission).
     paid: BTreeMap<RequestKey, u64>,
@@ -91,9 +94,10 @@ pub struct ThinnerAgent {
     /// §5 quantum for quanta accounting, if in quantum mode.
     quantum: Option<SimDuration>,
     scratch: Vec<Directive>,
-    /// Reusable key buffer for [`ThinnerAgent::sync_all_channels`],
-    /// which runs on every server completion and tick.
-    key_scratch: Vec<RequestKey>,
+    /// Reusable flow buffer for
+    /// [`ThinnerAgent::sync_delivered_channels`], which runs on every
+    /// server completion and tick.
+    flow_scratch: Vec<FlowId>,
     /// Collected measurements.
     pub metrics: ThinnerMetrics,
 }
@@ -116,6 +120,7 @@ impl ThinnerAgent {
             nodes_by_client,
             down_flows: BTreeMap::new(),
             channels: BTreeMap::new(),
+            by_flow: BTreeMap::new(),
             states: BTreeMap::new(),
             paid: BTreeMap::new(),
             server_timer: None,
@@ -125,7 +130,7 @@ impl ThinnerAgent {
             next_alias: 1 << 24,
             quantum,
             scratch: Vec::new(),
-            key_scratch: Vec::new(),
+            flow_scratch: Vec::new(),
             metrics: ThinnerMetrics::default(),
         }
     }
@@ -219,16 +224,25 @@ impl ThinnerAgent {
         delta
     }
 
-    fn sync_all_channels(&mut self, ctx: &mut Ctx) {
-        // Reuse the key buffer: this runs on every completion and tick,
-        // and a fresh Vec per call was measurable allocator churn.
-        let mut keys = std::mem::take(&mut self.key_scratch);
-        keys.clear();
-        keys.extend(self.channels.keys().copied());
-        for &key in &keys {
-            self.sync_channel(ctx, key);
+    /// Credit every channel whose flow delivered new bytes since the
+    /// last call. Equivalent to polling every open channel — a sync
+    /// with no new bytes is a no-op — but O(flows that moved) instead
+    /// of O(open channels). The full scan ran on every server
+    /// completion, and completions scale with capacity (itself scaled
+    /// to the population), so at crowd scale it made the whole
+    /// simulation O(population²) per simulated second.
+    fn sync_delivered_channels(&mut self, ctx: &mut Ctx) {
+        // Reuse the flow buffer: this runs on every completion and
+        // tick, and a fresh Vec per call was measurable allocator churn.
+        let mut flows = std::mem::take(&mut self.flow_scratch);
+        flows.clear();
+        ctx.drain_progress(&mut flows);
+        for &f in &flows {
+            if let Some(&key) = self.by_flow.get(&f) {
+                self.sync_channel(ctx, key);
+            }
         }
-        self.key_scratch = keys;
+        self.flow_scratch = flows;
     }
 
     fn call_fe(
@@ -332,6 +346,8 @@ impl ThinnerAgent {
     fn cleanup_channel(&mut self, ctx: &mut Ctx, k: RequestKey, graceful: bool) {
         let _ = graceful;
         if let Some(ch) = self.channels.remove(&k) {
+            ctx.unwatch_flow(ch.flow);
+            self.by_flow.remove(&ch.flow);
             ctx.abort_flow(ch.flow);
         }
     }
@@ -386,7 +402,12 @@ impl App for ThinnerAgent {
                 // (re-POST case), then switch to the new flow.
                 self.sync_channel(ctx, key);
                 let seen = ctx.flow(flow).delivered_bytes();
-                self.channels.insert(key, Channel { flow, seen });
+                if let Some(old) = self.channels.insert(key, Channel { flow, seen }) {
+                    ctx.unwatch_flow(old.flow);
+                    self.by_flow.remove(&old.flow);
+                }
+                ctx.watch_flow(flow);
+                self.by_flow.insert(flow, key);
             }
             Kind::PaymentChunk => {
                 // A full POST arrived. Credit it, then tell the client to
@@ -450,7 +471,7 @@ impl App for ThinnerAgent {
                 // In auction mode the channel died at admission; in §5 it
                 // is still open and on_server_done will terminate it.
                 // Sync other channels so the auction sees fresh bids.
-                self.sync_all_channels(ctx);
+                self.sync_delivered_channels(ctx);
                 let fe_key = self.existing_fe_key(key);
                 self.drop_alias(key);
                 self.call_fe(ctx, |fe, now, out| fe.on_server_done(now, fe_key, out));
@@ -458,7 +479,7 @@ impl App for ThinnerAgent {
             }
             TOKEN_TICK => {
                 self.tick_timer = None;
-                self.sync_all_channels(ctx);
+                self.sync_delivered_channels(ctx);
                 self.schedule_tick(ctx);
             }
             _ => unreachable!("unknown thinner timer token"),
@@ -466,14 +487,10 @@ impl App for ThinnerAgent {
     }
 
     fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId) {
-        // A client abandoned a payment flow. Find and cancel its request's
+        // A client abandoned a payment flow. Cancel its request's
         // channel registration if it is still ours.
-        let key = self
-            .channels
-            .iter()
-            .find(|(_, ch)| ch.flow == flow)
-            .map(|(k, _)| *k);
-        if let Some(k) = key {
+        if let Some(k) = self.by_flow.remove(&flow) {
+            ctx.unwatch_flow(flow);
             self.channels.remove(&k);
             let fe_key = self.existing_fe_key(k);
             self.call_fe(ctx, |fe, now, out| fe.on_cancel(now, fe_key, out));

@@ -114,7 +114,7 @@ pub fn find(name: &str) -> Option<&'static Entry> {
     REGISTRY.iter().find(|e| e.name == name)
 }
 
-static REGISTRY: [Entry; 13] = [
+static REGISTRY: [Entry; 14] = [
     Entry {
         name: "fig2",
         section: "§7.2, Figure 2",
@@ -124,6 +124,24 @@ static REGISTRY: [Entry; 13] = [
         kind: Kind::Sim {
             build: build_fig2,
             render: render_fig2,
+        },
+    },
+    Entry {
+        name: "fig2_xl",
+        section: "§7.2 at scale",
+        title: "crowd scaling: fig2's f=0.5 point at 10^5 clients via flyweight cohorts",
+        // Short by design, twice over: cohort nodes churn flows fast
+        // enough that the paper's 600 s would exhaust the per-node
+        // flow-id space (see `scenarios::fig2_xl`), and the population
+        // moves ~2 x 10^8 events per simulated second, so even one
+        // second is minutes of wall clock on one core. One second is
+        // plenty to measure allocation; the engine bench measures
+        // throughput/RSS over a milliseconds window for the same reason.
+        default_secs: 1,
+        grid: "single run (100 foreground clients + 100 cohorts × 999 members)",
+        kind: Kind::Sim {
+            build: build_fig2_xl,
+            render: render_fig2_xl,
         },
     },
     Entry {
@@ -287,6 +305,43 @@ fn render_fig2(_scens: &[Scenario], reps: &[Reps]) -> String {
          paper shape: 'with' tracks the ideal line closely (slightly below);\n\
          'without' stays far below it because bad clients out-request good ones.\n",
         table(&["f=G/(G+B)", "with speak-up", "without", "ideal"], &rows)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 at scale (crowd scaling baseline)
+// ---------------------------------------------------------------------------
+
+fn build_fig2_xl() -> Vec<Scenario> {
+    vec![scenarios::fig2_xl()]
+}
+
+fn render_fig2_xl(scens: &[Scenario], reps: &[Reps]) -> String {
+    let rp = reps[0];
+    let s = &scens[0];
+    let rows = vec![vec![
+        format!("{}", s.population()),
+        format!("{}", s.clients.len()),
+        format!("{}", s.cohorts.len()),
+        frac_est(rp.est(|r| r.good_fraction())),
+        frac(s.ideal_good_share()),
+        frac_est(rp.est(|r| r.good_served_fraction())),
+    ]];
+    format!(
+        "\nFigure 2 at scale: f=0.5 with a 10^5-client population (flyweight cohorts)\n{}\
+         expected: the same near-ideal allocation fig2 shows at 50 clients —\n\
+         the population size changes memory and event volume, not the share.\n",
+        table(
+            &[
+                "population",
+                "foreground",
+                "cohorts",
+                "alloc good",
+                "ideal",
+                "good served"
+            ],
+            &rows
+        )
     )
 }
 
@@ -1004,8 +1059,8 @@ mod tests {
                 assert!(!grid.is_empty(), "{} built an empty grid", e.name);
                 for s in &grid {
                     assert!(
-                        !s.clients.is_empty(),
-                        "{}: scenario with no clients",
+                        !s.clients.is_empty() || !s.cohorts.is_empty(),
+                        "{}: scenario with no clients or cohorts",
                         e.name
                     );
                 }
@@ -1018,6 +1073,7 @@ mod tests {
     #[test]
     fn grid_shapes_match_the_paper() {
         assert_eq!(find("fig2").unwrap().build_grid().len(), 10);
+        assert_eq!(find("fig2_xl").unwrap().build_grid().len(), 1);
         assert_eq!(find("fig3").unwrap().build_grid().len(), 6);
         assert_eq!(find("fig6").unwrap().build_grid().len(), 1);
         assert_eq!(find("fig7").unwrap().build_grid().len(), 2);

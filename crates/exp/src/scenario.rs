@@ -93,6 +93,24 @@ impl ClientSpec {
     }
 }
 
+/// A flyweight crowd: `members` identical background clients aggregated
+/// behind one node (see [`crate::agents::cohort::CohortAgent`]).
+///
+/// The cohort's access link is provisioned at `members ×` the member
+/// spec's rate, so aggregate bandwidth — the currency speak-up meters —
+/// is exact; arrivals come from the superposed Poisson process. Cohorts
+/// cannot sit behind the Fig 8 bottleneck (their aggregated link would
+/// misrepresent per-client crowd-out there) and are rejected by the
+/// runner in `Mode::Profile` (identity-keyed defenses need per-client
+/// identities to be meaningful).
+#[derive(Clone, Copy, Debug)]
+pub struct CohortSpec {
+    /// The member profile and placement (shared by all members).
+    pub spec: ClientSpec,
+    /// Number of aggregated members (≥ 1).
+    pub members: u32,
+}
+
 /// The shared bottleneck link `l` of §7.6 / `m` of §7.7.
 #[derive(Clone, Copy, Debug)]
 pub struct BottleneckSpec {
@@ -126,8 +144,11 @@ pub struct Scenario {
     pub capacity: f64,
     /// Thinner mode.
     pub mode: Mode,
-    /// The clients.
+    /// The fully simulated (foreground) clients.
     pub clients: Vec<ClientSpec>,
+    /// Flyweight client crowds (background population), if any. Each
+    /// cohort is one node aggregating `members` identical clients.
+    pub cohorts: Vec<CohortSpec>,
     /// Optional shared bottleneck for `bottlenecked()` clients.
     pub bottleneck: Option<BottleneckSpec>,
     /// Optional Fig 9 web cross-traffic (placed behind the bottleneck).
@@ -156,6 +177,7 @@ impl Scenario {
             capacity,
             mode,
             clients: Vec::new(),
+            cohorts: Vec::new(),
             bottleneck: None,
             web: None,
             hub_link: LinkConfig::new(1_000_000_000, SimDuration::from_micros(100)),
@@ -167,6 +189,29 @@ impl Scenario {
     pub fn add_clients(&mut self, n: usize, spec: ClientSpec) -> &mut Self {
         self.clients.extend(std::iter::repeat_n(spec, n));
         self
+    }
+
+    /// Add `n` cohorts of `members` aggregated clients each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is zero, or if the member spec is placed
+    /// behind the bottleneck (cohorts aggregate their access link, which
+    /// would misrepresent Fig 8's per-client crowd-out).
+    pub fn add_cohorts(&mut self, n: usize, members: u32, spec: ClientSpec) -> &mut Self {
+        assert!(members > 0, "a cohort needs at least one member");
+        assert!(
+            !spec.behind_bottleneck,
+            "cohorts cannot sit behind the shared bottleneck"
+        );
+        self.cohorts
+            .extend(std::iter::repeat_n(CohortSpec { spec, members }, n));
+        self
+    }
+
+    /// Total client population: foreground clients plus cohort members.
+    pub fn population(&self) -> u64 {
+        self.clients.len() as u64 + self.cohorts.iter().map(|c| c.members as u64).sum::<u64>()
     }
 
     /// Set the run length.
@@ -188,22 +233,32 @@ impl Scenario {
         self
     }
 
+    /// Access-link bandwidth of one class, bits/s, counting every cohort
+    /// member at the member rate.
+    fn class_bandwidth_bps(&self, is_bad: bool) -> u64 {
+        let singles: u64 = self
+            .clients
+            .iter()
+            .filter(|c| c.profile.is_bad == is_bad)
+            .map(|c| c.access_bps)
+            .sum();
+        let crowds: u64 = self
+            .cohorts
+            .iter()
+            .filter(|c| c.spec.profile.is_bad == is_bad)
+            .map(|c| c.spec.access_bps * c.members as u64)
+            .sum();
+        singles + crowds
+    }
+
     /// Aggregate good-client bandwidth `G`, bits/s (access-link sum).
     pub fn good_bandwidth_bps(&self) -> u64 {
-        self.clients
-            .iter()
-            .filter(|c| !c.profile.is_bad)
-            .map(|c| c.access_bps)
-            .sum()
+        self.class_bandwidth_bps(false)
     }
 
     /// Aggregate bad-client bandwidth `B`, bits/s.
     pub fn bad_bandwidth_bps(&self) -> u64 {
-        self.clients
-            .iter()
-            .filter(|c| c.profile.is_bad)
-            .map(|c| c.access_bps)
-            .sum()
+        self.class_bandwidth_bps(true)
     }
 
     /// `G/(G+B)`: the bandwidth-proportional ideal share for good clients.
@@ -216,13 +271,22 @@ impl Scenario {
         g / (g + b)
     }
 
-    /// Aggregate good demand `g` in requests/s (sum of λ).
+    /// Aggregate good demand `g` in requests/s (sum of λ over clients
+    /// and cohort members).
     pub fn good_demand(&self) -> f64 {
-        self.clients
+        let singles: f64 = self
+            .clients
             .iter()
             .filter(|c| !c.profile.is_bad)
             .map(|c| c.profile.lambda)
-            .sum()
+            .sum();
+        let crowds: f64 = self
+            .cohorts
+            .iter()
+            .filter(|c| !c.spec.profile.is_bad)
+            .map(|c| c.spec.profile.lambda * c.members as f64)
+            .sum();
+        singles + crowds
     }
 
     /// The §3.3 average-price upper bound `(G+B)/c` in bytes/request.
@@ -247,6 +311,27 @@ mod tests {
         assert_eq!(s.good_demand(), 50.0);
         // (G+B)/c = 100 Mbit/s / 8 / 100 = 125 000 bytes/request.
         assert!((s.price_upper_bound() - 125_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cohort_members_count_in_accounting() {
+        let mut s = Scenario::new("t", 100.0, Mode::Auction);
+        s.add_clients(10, ClientSpec::lan(ClientProfile::good()));
+        s.add_cohorts(2, 20, ClientSpec::lan(ClientProfile::good()));
+        s.add_cohorts(1, 50, ClientSpec::lan(ClientProfile::bad()));
+        assert_eq!(s.population(), 100);
+        // 10 + 40 good members at 2 Mbit/s each.
+        assert_eq!(s.good_bandwidth_bps(), 100_000_000);
+        assert_eq!(s.bad_bandwidth_bps(), 100_000_000);
+        assert!((s.ideal_good_share() - 0.5).abs() < 1e-12);
+        assert!((s.good_demand() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the shared bottleneck")]
+    fn bottlenecked_cohorts_are_rejected() {
+        let mut s = Scenario::new("t", 100.0, Mode::Auction);
+        s.add_cohorts(1, 10, ClientSpec::lan(ClientProfile::good()).bottlenecked());
     }
 
     #[test]

@@ -22,6 +22,40 @@ pub fn fig2(f_good: f64, mode: Mode) -> Scenario {
     s
 }
 
+/// Crowd scaling: Figure 2's `f = 0.5` point at a large population.
+/// Per class (good, bad): `foreground` fully simulated clients plus
+/// `cohorts` flyweight cohorts of `members` aggregated clients each.
+/// Server capacity keeps fig2's per-client provisioning (`c = 2`
+/// req/s-per-client × population), so the allocation shares stay in the
+/// regime Figure 2 measures.
+pub fn fig2_xl_sized(foreground: usize, cohorts: usize, members: u32) -> Scenario {
+    let population = 2 * (foreground as u64 + cohorts as u64 * members as u64);
+    let mut s = Scenario::new(
+        format!("fig2_xl f=0.5 n={population}"),
+        2.0 * population as f64,
+        Mode::Auction,
+    );
+    s.add_clients(foreground, ClientSpec::lan(ClientProfile::good()));
+    s.add_clients(foreground, ClientSpec::lan(ClientProfile::bad()));
+    s.add_cohorts(cohorts, members, ClientSpec::lan(ClientProfile::good()));
+    s.add_cohorts(cohorts, members, ClientSpec::lan(ClientProfile::bad()));
+    s
+}
+
+/// The registry's crowd-scaling baseline: 10^5 clients as 100 foreground
+/// clients + 100 cohorts × 999 members.
+///
+/// Sizing notes: 999 members keeps each cohort node's flow churn well
+/// inside the per-node flow-id space (2^20 flows/node,
+/// [`speakup_net::packet::FLOW_NTH_BITS`]) for runs up to a few minutes
+/// of simulated time — which is why the registry entry defaults to a
+/// short run rather than the paper's 600 s. The path to 10^6 clients is
+/// *more cohort nodes* (the node-id space holds 4096), not bigger
+/// cohorts.
+pub fn fig2_xl() -> Scenario {
+    fig2_xl_sized(50, 50, 999)
+}
+
 /// §7.2, Figure 3 (and the latency/price measurements of Figures 4–5):
 /// 25 good + 25 bad clients (G = B = 50 Mbit/s), server capacity `c` ∈
 /// {50, 100, 200}. `c_id` = 100.
@@ -197,6 +231,18 @@ mod tests {
         let bad = s.clients.iter().filter(|c| c.profile.is_bad).count();
         assert_eq!((good, bad), (15, 35));
         assert!((s.ideal_good_share() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig2_xl_population_and_provisioning() {
+        let s = fig2_xl();
+        assert_eq!(s.population(), 100_000);
+        assert_eq!(s.clients.len(), 100);
+        assert_eq!(s.cohorts.len(), 100);
+        assert!((s.ideal_good_share() - 0.5).abs() < 1e-12);
+        // fig2's 2 req/s-per-client provisioning, scaled.
+        assert!((s.capacity - 200_000.0).abs() < 1e-9);
+        assert!((s.good_demand() - 100_000.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Typed dense identifiers and the tables they index.
+//!
+//! The parsimon-style idiom: every entity class gets its own `u32`
+//! newtype minted by [`identifier!`], and per-entity hot state lives in
+//! flat [`IdVec`] tables indexed by the id — struct-of-arrays instead of
+//! per-object maps and boxes. A lookup is one bounds-checked array
+//! indexing; iteration touches contiguous memory; and the type system
+//! stops a `MemberId` from ever indexing a node table.
+//!
+//! [`crate::packet`] mints the simulator's core ids ([`crate::NodeId`],
+//! [`crate::LinkId`], [`crate::FlowId`]) with the same macro; this module
+//! adds the crowd-scaling ids ([`CohortId`], [`MemberId`]) used by the
+//! flyweight client cohorts.
+
+use std::marker::PhantomData;
+
+/// A dense `u32`-backed identifier usable as an [`IdVec`] index.
+pub trait Ident: Copy {
+    /// The id as a dense table index.
+    fn index(self) -> usize;
+    /// The id naming table position `i`.
+    fn from_index(i: usize) -> Self;
+}
+
+/// Mint a dense `u32` identifier newtype: `identifier!(Name, "prefix")`.
+///
+/// The type derives the full comparison/hash kit, displays as
+/// `"<prefix><n>"`, and implements [`Ident`] so it can key an [`IdVec`].
+/// The payload field stays `pub` — call sites that pack or unpack bits
+/// (e.g. [`crate::sim::flow_id`]) keep working unchanged.
+#[macro_export]
+macro_rules! identifier {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        pub struct $name(pub u32);
+
+        impl $crate::ids::Ident for $name {
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+            #[inline]
+            fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id space exhausted"))
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+identifier!(
+    /// One flyweight cohort (a node statistically aggregating N clients).
+    CohortId,
+    "ch"
+);
+identifier!(
+    /// One aggregated client within a cohort (dense, per-cohort).
+    MemberId,
+    "m"
+);
+
+/// A dense table keyed by a typed id: `IdVec<MemberId, T>` is a
+/// `Vec<T>` that only a `MemberId` can index.
+///
+/// Grown by [`IdVec::push`] (which mints the next id) or
+/// [`IdVec::with`]; never shrinks — ids are dense and stable for the
+/// table's lifetime, matching the append-only id allocation everywhere
+/// in the simulator.
+#[derive(Clone, Debug)]
+pub struct IdVec<I, T> {
+    items: Vec<T>,
+    _key: PhantomData<I>,
+}
+
+impl<I: Ident, T> IdVec<I, T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        IdVec {
+            items: Vec::new(),
+            _key: PhantomData,
+        }
+    }
+
+    /// A table of `n` entries built by `f(id)`.
+    pub fn with(n: usize, mut f: impl FnMut(I) -> T) -> Self {
+        IdVec {
+            items: (0..n).map(|i| f(I::from_index(i))).collect(),
+            _key: PhantomData,
+        }
+    }
+
+    /// Append an entry, minting its id.
+    pub fn push(&mut self, value: T) -> I {
+        let id = I::from_index(self.items.len());
+        self.items.push(value);
+        id
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate `(id, &entry)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (I::from_index(i), v))
+    }
+
+    /// All ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = I> + use<I, T> {
+        (0..self.items.len()).map(I::from_index)
+    }
+}
+
+impl<I: Ident, T> Default for IdVec<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Ident, T> std::ops::Index<I> for IdVec<I, T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: I) -> &T {
+        &self.items[id.index()]
+    }
+}
+
+impl<I: Ident, T> std::ops::IndexMut<I> for IdVec<I, T> {
+    #[inline]
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.items[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_dense_and_typed() {
+        let mut t: IdVec<MemberId, u64> = IdVec::new();
+        assert!(t.is_empty());
+        let a = t.push(10);
+        let b = t.push(20);
+        assert_eq!((a, b), (MemberId(0), MemberId(1)));
+        assert_eq!(t.len(), 2);
+        t[a] += 1;
+        assert_eq!(t[a], 11);
+        assert_eq!(t[b], 20);
+        assert_eq!(t.ids().collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(t.iter().map(|(_, &v)| v).sum::<u64>(), 31);
+    }
+
+    #[test]
+    fn with_builds_from_ids() {
+        let t: IdVec<CohortId, u32> = IdVec::with(3, |id: CohortId| id.0 * 100);
+        assert_eq!(t[CohortId(2)], 200);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn display_uses_the_prefix() {
+        assert_eq!(CohortId(7).to_string(), "ch7");
+        assert_eq!(MemberId(3).to_string(), "m3");
+    }
+}

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod ids;
 pub mod link;
 pub mod packet;
 pub mod rng;
@@ -67,6 +68,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use ids::{CohortId, IdVec, Ident, MemberId};
 pub use packet::{FlowId, LinkId, NodeId};
 pub use sim::{App, Ctx, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -4,19 +4,23 @@
 //! flows (see [`crate::tcp`]); a packet is either a data segment carrying a
 //! byte range of the flow's stream, or a cumulative acknowledgment.
 
-use std::fmt;
+use crate::identifier;
 
-/// Identifies a node (host or switch) in the topology.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct NodeId(pub u32);
-
-/// Identifies a unidirectional link.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct LinkId(pub u32);
-
-/// Identifies a flow (one direction of a transport connection).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct FlowId(pub u32);
+identifier!(
+    /// Identifies a node (host or switch) in the topology.
+    NodeId,
+    "n"
+);
+identifier!(
+    /// Identifies a unidirectional link.
+    LinkId,
+    "l"
+);
+identifier!(
+    /// Identifies a flow (one direction of a transport connection).
+    FlowId,
+    "f"
+);
 
 /// Bits of a [`FlowId`] holding the opening node's per-node flow
 /// counter; the remaining high bits hold the node id (see
@@ -34,22 +38,6 @@ impl FlowId {
     #[inline]
     pub fn per_node_index(self) -> usize {
         (self.0 & ((1 << FLOW_NTH_BITS) - 1)) as usize
-    }
-}
-
-impl fmt::Display for NodeId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n{}", self.0)
-    }
-}
-impl fmt::Display for LinkId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "l{}", self.0)
-    }
-}
-impl fmt::Display for FlowId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "f{}", self.0)
     }
 }
 

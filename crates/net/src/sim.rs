@@ -263,9 +263,10 @@ enum Event {
 }
 
 /// A cross-shard handoff: an event for another shard's queue, exchanged
-/// at the next window barrier.
+/// at the next window barrier. The destination is implicit — remotes
+/// live in per-destination outbox lanes, so a whole `(src, dst)` batch
+/// moves under one lock with no per-record routing.
 struct Remote {
-    to_shard: u32,
     time: SimTime,
     lane: u64,
     event: Event,
@@ -325,10 +326,21 @@ pub struct World {
     /// sentinel that pops before the real deadline re-files itself at the
     /// deadline, so `on_rto` still runs at exactly the armed time.
     rto_timers: FlowSlab<RtoTimer>,
+    /// Delivery-progress tracking for watched receiver flows (see
+    /// [`Ctx::watch_flow`]): the stored flag is the flow's dirty bit,
+    /// set when its in-order delivered byte count advances and cleared
+    /// by [`Ctx::drain_progress`].
+    watch_rx: FlowSlab<bool>,
+    /// Watched flows that delivered new bytes since the last drain
+    /// (each queued at most once — the dirty bit dedups).
+    progress_rx: Vec<FlowId>,
     notifies: VecDeque<Notify>,
     actions_scratch: Vec<FlowAction>,
-    /// Events bound for other shards, exchanged at the next barrier.
-    outbox: Vec<Remote>,
+    /// Events bound for other shards, one lane per destination shard,
+    /// exchanged wholesale at the next barrier. The lanes live for the
+    /// whole run and keep their capacity, so the steady-state exchange
+    /// path allocates nothing.
+    outboxes: Vec<Vec<Remote>>,
     cross_shard_events: u64,
     /// Events this shard's loop has handled (load-balance diagnostics).
     events_processed: u64,
@@ -337,7 +349,13 @@ pub struct World {
 }
 
 impl World {
-    fn new(topology: Arc<Topology>, assignment: Arc<Vec<u32>>, shard: u32, seed: u64) -> Self {
+    fn new(
+        topology: Arc<Topology>,
+        assignment: Arc<Vec<u32>>,
+        shard: u32,
+        num_shards: usize,
+        seed: u64,
+    ) -> Self {
         let n = topology.node_count() as usize;
         let mut links = Vec::with_capacity(topology.edges().len());
         let mut link_faults = Vec::with_capacity(topology.edges().len());
@@ -368,9 +386,11 @@ impl World {
             flows_tx: FlowSlab::new(n),
             flows_rx: FlowSlab::new(n),
             rto_timers: FlowSlab::new(n),
+            watch_rx: FlowSlab::new(n),
+            progress_rx: Vec::new(),
             notifies: VecDeque::new(),
             actions_scratch: Vec::new(),
-            outbox: Vec::new(),
+            outboxes: (0..num_shards).map(|_| Vec::new()).collect(),
             cross_shard_events: 0,
             events_processed: 0,
             total_drops: 0,
@@ -437,19 +457,14 @@ impl World {
         panic!("flow {id} is not visible from {node}")
     }
 
-    /// Queue `event` for `to_shard` (locally, or via the outbox for a
-    /// barrier exchange).
+    /// Queue `event` for `to_shard` (locally, or via its outbox lane for
+    /// a barrier exchange).
     fn schedule(&mut self, time: SimTime, lane: u64, event: Event, to_shard: u32) {
         if to_shard == self.shard {
             self.queue.push_lane(time, lane, event);
         } else {
             self.cross_shard_events += 1;
-            self.outbox.push(Remote {
-                to_shard,
-                time,
-                lane,
-                event,
-            });
+            self.outboxes[to_shard as usize].push(Remote { time, lane, event });
         }
     }
 
@@ -754,10 +769,20 @@ impl World {
         let mut actions = std::mem::take(&mut self.actions_scratch);
         match packet.kind {
             PacketKind::Data { offset, len } => {
-                self.flows_rx
+                let f = self
+                    .flows_rx
                     .get_mut(fid)
-                    .expect("data for an unopened flow")
-                    .on_data(now, offset, len, &mut actions);
+                    .expect("data for an unopened flow");
+                let before = f.delivered_bytes();
+                f.on_data(now, offset, len, &mut actions);
+                if f.delivered_bytes() > before {
+                    if let Some(dirty) = self.watch_rx.get_mut(fid) {
+                        if !*dirty {
+                            *dirty = true;
+                            self.progress_rx.push(fid);
+                        }
+                    }
+                }
             }
             PacketKind::Ack { cum } => {
                 self.flows_tx
@@ -867,6 +892,45 @@ impl<'a> Ctx<'a> {
     /// destination.
     pub fn flow(&self, id: FlowId) -> &Flow {
         self.world.flow_at(self.node, id)
+    }
+
+    /// Watch the receiver half of `id` (which must terminate at this
+    /// node) for delivery progress: whenever its in-order delivered
+    /// byte count advances, the flow is queued once for the next
+    /// [`Ctx::drain_progress`]. This lets an app that terminates many
+    /// inbound channels credit exactly the flows that moved instead of
+    /// polling every open channel — the poll made the thinner's
+    /// admission path O(population) at crowd scale. One watcher per
+    /// shard: all watched flows drain to whichever node asks.
+    pub fn watch_flow(&mut self, id: FlowId) {
+        debug_assert!(
+            self.world
+                .flows_rx
+                .get(id)
+                .is_none_or(|f| f.dst == self.node),
+            "watching a flow that terminates elsewhere"
+        );
+        self.world.watch_rx.insert(id, false);
+    }
+
+    /// Stop watching `id`. A still-queued dirty entry is skipped at
+    /// drain time; no-op if the flow was never watched.
+    pub fn unwatch_flow(&mut self, id: FlowId) {
+        self.world.watch_rx.take(id);
+    }
+
+    /// Move every watched flow that delivered new bytes since the last
+    /// drain into `out`, clearing their dirty marks. Order follows the
+    /// first post-drain delivery of each flow.
+    pub fn drain_progress(&mut self, out: &mut Vec<FlowId>) {
+        for fid in self.world.progress_rx.drain(..) {
+            if let Some(dirty) = self.world.watch_rx.get_mut(fid) {
+                if *dirty {
+                    *dirty = false;
+                    out.push(fid);
+                }
+            }
+        }
     }
 
     /// Propagation delay of the route to `dst` (for informed apps/tests).
@@ -1052,6 +1116,12 @@ pub struct Simulator<S: AppSet = Box<dyn App>> {
     /// direct link delays and routed path delays (flow control records
     /// travel at path propagation delay straight into the peer queue).
     lookahead: Vec<u64>,
+    /// Per-shard cross-shard delivery buffers, recycled across windows
+    /// *and* across `run_until` calls: rebuilding them per call used to
+    /// re-pay their allocations every time a driver stepped the clock.
+    inboxes: Vec<Mutex<Vec<Remote>>>,
+    /// Per-shard next-event times published at the window barrier.
+    next_times: Vec<AtomicU64>,
 }
 
 impl Simulator {
@@ -1091,7 +1161,13 @@ impl<S: AppSet> Simulator<S> {
                 let mut apps = Vec::with_capacity(n);
                 apps.resize_with(n, || None);
                 Shard {
-                    world: World::new(Arc::clone(&topology), Arc::clone(&assignment), s, seed),
+                    world: World::new(
+                        Arc::clone(&topology),
+                        Arc::clone(&assignment),
+                        s,
+                        num_shards,
+                        seed,
+                    ),
                     apps,
                     started: false,
                     dispatch_counts: vec![0; S::variant_names().len()],
@@ -1102,6 +1178,8 @@ impl<S: AppSet> Simulator<S> {
             shards,
             assignment,
             lookahead,
+            inboxes: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            next_times: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -1256,7 +1334,10 @@ impl<S: AppSet> Simulator<S> {
         if self.shards.len() == 1 {
             let shard = &mut self.shards[0];
             shard.start_apps();
-            debug_assert!(shard.world.outbox.is_empty(), "single shard has no peers");
+            debug_assert!(
+                shard.world.outboxes.iter().all(Vec::is_empty),
+                "single shard has no peers"
+            );
             shard.process_window(SimTime::MAX, until);
             if shard.world.now < until {
                 shard.world.now = until;
@@ -1268,11 +1349,11 @@ impl<S: AppSet> Simulator<S> {
         let lookahead: &[u64] = &self.lookahead;
         let live = LIVE_SHARD_THREADS.fetch_add(n, Ordering::SeqCst) + n;
         let barrier = SpinBarrier::new(n, live);
-        let inboxes: Vec<Mutex<Vec<Remote>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         let barrier = &barrier;
-        let inboxes = &inboxes;
-        let next_times = &next_times;
+        // The exchange buffers live on the Simulator and are recycled
+        // across calls — no per-call (or per-window) reallocation.
+        let inboxes: &[Mutex<Vec<Remote>>] = &self.inboxes;
+        let next_times: &[AtomicU64] = &self.next_times;
 
         let first_panic = std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -1328,23 +1409,21 @@ impl<S: AppSet> Simulator<S> {
     ) {
         let n = inboxes.len();
         shard.start_apps();
-        // Reused per-destination scratch for the outbox split.
-        let mut buckets: Vec<Vec<Remote>> = (0..n).map(|_| Vec::new()).collect();
         loop {
-            // Phase 1: publish this window's cross-shard events. One pass
-            // partitions the outbox into per-destination batches (moves,
-            // no clones), preserving send order — the receiving heap
-            // canonicalizes order across sources by lane.
-            for r in shard.world.outbox.drain(..) {
-                buckets[r.to_shard as usize].push(r);
-            }
-            for (dest, bucket) in buckets.iter_mut().enumerate() {
-                if bucket.is_empty() {
+            // Phase 1: publish this window's cross-shard events. The
+            // outbox is already partitioned per destination (one lane
+            // per peer shard, filled by `World::schedule`), so each
+            // non-empty batch moves under a single lock acquisition —
+            // no per-record sends, no re-partitioning scratch. Send
+            // order is preserved; the receiving heap canonicalizes
+            // order across sources by lane.
+            for (dest, slot) in inboxes.iter().enumerate() {
+                if shard.world.outboxes[dest].is_empty() {
                     continue;
                 }
                 debug_assert_ne!(dest, i, "outbox entry addressed to self");
-                let mut inbox = inboxes[dest].lock().expect("inbox poisoned");
-                inbox.append(bucket);
+                let mut inbox = slot.lock().expect("inbox poisoned");
+                inbox.append(&mut shard.world.outboxes[dest]);
             }
             if !barrier.wait() {
                 return;
