@@ -1,1 +1,7 @@
+#![forbid(unsafe_code)]
 //! Criterion benches live in `benches/`; see the crate description.
+//!
+//! The lib target is empty but still asserts the workspace's no-unsafe
+//! discipline. The one sanctioned `unsafe` in this crate is the
+//! `GlobalAlloc` tracking allocator in `benches/engine_throughput.rs`
+//! (path-allowlisted by `speakup lint`'s `forbid-unsafe` rule).

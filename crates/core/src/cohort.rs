@@ -295,14 +295,16 @@ mod tests {
         assert_eq!(c.outstanding_total(), 2);
         assert_eq!(c.backlog_total(), 1);
         // Serving member 0 refills from member 0's backlog only.
-        let next = c.on_served(t(3), a.unwrap());
+        let next = c.on_served(t(3), a.expect("invariant: asserted is_some above"));
         assert_eq!(next.map(gid_member), Some(MemberId(0)));
     }
 
     #[test]
     fn backlog_expiry_is_per_member() {
         let mut c = CohortTracker::new(ClientProfile::good(), 2);
-        let a = c.on_fire(MemberId(0), t(0)).unwrap();
+        let a = c
+            .on_fire(MemberId(0), t(0))
+            .expect("invariant: empty window always issues");
         c.on_fire(MemberId(0), t(1)); // backlogged on member 0
         c.on_fire(MemberId(1), t(2)); // issued on member 1
         let next = c.on_served(t(11_500), a);

@@ -10,7 +10,7 @@
 use crate::types::RequestKey;
 use speakup_net::rng::Pcg32;
 use speakup_net::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A request currently executing.
 #[derive(Clone, Copy, Debug)]
@@ -53,7 +53,7 @@ pub struct EmulatedServer {
     running: Option<Running>,
     /// When the current execution slice started (for busy accounting).
     slice_started: SimTime,
-    suspended: HashMap<RequestKey, Suspended>,
+    suspended: BTreeMap<RequestKey, Suspended>,
     rng: Pcg32,
     /// Counters.
     pub stats: ServerStats,
@@ -69,7 +69,7 @@ impl EmulatedServer {
             jitter: (0.9, 1.1),
             running: None,
             slice_started: SimTime::ZERO,
-            suspended: HashMap::new(),
+            suspended: BTreeMap::new(),
             rng: Pcg32::new(seed, 0x5e),
             stats: ServerStats::default(),
         }

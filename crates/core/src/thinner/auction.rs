@@ -36,7 +36,7 @@ use crate::types::{Directive, RequestKey};
 use speakup_net::time::{SimDuration, SimTime};
 use speakup_net::trace::Samples;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Configuration for the auction front end.
 #[derive(Clone, Copy, Debug)]
@@ -130,7 +130,7 @@ pub struct AuctionStats {
 pub struct AuctionFrontEnd {
     cfg: AuctionConfig,
     busy: Option<RequestKey>,
-    contenders: HashMap<RequestKey, Contender>,
+    contenders: BTreeMap<RequestKey, Contender>,
     /// Lazy max-heap of bid snapshots (see the module docs' scaling
     /// note); the top *current* entry is the auction winner.
     bids: BinaryHeap<Bid>,
@@ -149,7 +149,7 @@ impl AuctionFrontEnd {
         AuctionFrontEnd {
             cfg,
             busy: None,
-            contenders: HashMap::new(),
+            contenders: BTreeMap::new(),
             bids: BinaryHeap::new(),
             expiries: BinaryHeap::new(),
             next_seq: 0,

@@ -17,7 +17,7 @@
 use super::FrontEnd;
 use crate::types::{Directive, RequestKey};
 use speakup_net::time::SimTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Configuration for the profiling front end.
 #[derive(Clone, Copy, Debug)]
@@ -64,7 +64,7 @@ pub struct ProfileFrontEnd {
     cfg: ProfileConfig,
     busy: Option<RequestKey>,
     queue: VecDeque<RequestKey>,
-    buckets: HashMap<crate::types::ClientId, Bucket>,
+    buckets: BTreeMap<crate::types::ClientId, Bucket>,
     /// Counters.
     pub stats: ProfileStats,
 }
@@ -77,7 +77,7 @@ impl ProfileFrontEnd {
             cfg,
             busy: None,
             queue: VecDeque::new(),
-            buckets: HashMap::new(),
+            buckets: BTreeMap::new(),
             stats: ProfileStats::default(),
         }
     }

@@ -23,7 +23,7 @@ use super::FrontEnd;
 use crate::types::{Directive, RequestKey};
 use speakup_net::time::{SimDuration, SimTime};
 use speakup_net::trace::Samples;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration for the quantum-auction front end.
 #[derive(Clone, Copy, Debug)]
@@ -80,7 +80,7 @@ pub struct QuantumFrontEnd {
     cfg: QuantumConfig,
     /// The request currently executing, with bytes paid since it last won.
     active: Option<(RequestKey, u64)>,
-    contenders: HashMap<RequestKey, Contender>,
+    contenders: BTreeMap<RequestKey, Contender>,
     next_seq: u64,
     /// Counters and per-quantum price samples.
     pub stats: QuantumStats,
@@ -93,7 +93,7 @@ impl QuantumFrontEnd {
         QuantumFrontEnd {
             cfg,
             active: None,
-            contenders: HashMap::new(),
+            contenders: BTreeMap::new(),
             next_seq: 0,
             stats: QuantumStats::default(),
         }

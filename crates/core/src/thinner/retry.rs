@@ -19,7 +19,7 @@ use crate::types::{Directive, RequestKey};
 use speakup_net::rng::Pcg32;
 use speakup_net::time::{SimDuration, SimTime};
 use speakup_net::trace::Samples;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration for the retry front end.
 #[derive(Clone, Copy, Debug)]
@@ -78,7 +78,7 @@ pub struct RetryFrontEnd {
     busy: Option<RequestKey>,
     /// Admitted requests waiting for the server (FIFO).
     queue: std::collections::VecDeque<RequestKey>,
-    pending: HashMap<RequestKey, Pending>,
+    pending: BTreeMap<RequestKey, Pending>,
     /// Retry count in the current estimation bucket.
     bucket_count: u64,
     bucket_started: SimTime,
@@ -98,7 +98,7 @@ impl RetryFrontEnd {
             cfg,
             busy: None,
             queue: std::collections::VecDeque::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             bucket_count: 0,
             bucket_started: SimTime::ZERO,
             rate_estimate: 0.0,

@@ -58,6 +58,14 @@ pub enum Command {
         /// Shard count for the re-runs.
         shards: u32,
     },
+    /// `speakup lint`: run the determinism-audit static analysis over
+    /// the workspace sources.
+    Lint {
+        /// Workspace root override (default: ascend from cwd).
+        root: Option<String>,
+        /// Emit diagnostics as JSON.
+        json: bool,
+    },
     /// `speakup help`.
     Help,
 }
@@ -71,6 +79,7 @@ USAGE:
     speakup run <name>... | all [--secs N] [--seed N] [--seeds K]
                 [--jobs N] [--shards K] [--json]
     speakup compare <golden.json>... [--tol X] [--jobs N] [--shards K]
+    speakup lint [--root <dir>] [--json]
     speakup help
 
 OPTIONS (run):
@@ -87,6 +96,11 @@ OPTIONS (run):
 
 OPTIONS (compare):
     --tol X     scale every per-metric tolerance by X (default 1)
+
+OPTIONS (lint):
+    --root DIR  workspace root to scan (default: ascend from cwd to the
+                first Cargo.toml declaring [workspace])
+    --json      emit the diagnostics as a JSON array
 
 Repeated flags follow a last-wins policy: `--jobs 2 --jobs 4` runs with
 4 workers. `--secs 0` is rejected (a zero-length run has no rates).
@@ -271,6 +285,30 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 jobs,
                 shards,
             })
+        }
+        "lint" => {
+            let mut root = None;
+            let mut json = false;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--root" => {
+                        root = Some(
+                            rest.get(i + 1)
+                                .ok_or("--root needs a directory")?
+                                .to_string(),
+                        );
+                        i += 2;
+                    }
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown argument for lint: {other}")),
+                }
+            }
+            Ok(Command::Lint { root, json })
         }
         other => Err(format!("unknown subcommand {other}\n\n{USAGE}")),
     }
@@ -610,6 +648,33 @@ pub fn dispatch(
             }
             write!(out, "{}", doc.pretty())
         }
+        Command::Lint { root, json } => {
+            let root = match root {
+                Some(r) => std::path::PathBuf::from(r),
+                None => {
+                    let cwd = std::env::current_dir()?;
+                    speakup_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                        std::io::Error::other(format!(
+                            "no workspace root found above {}",
+                            cwd.display()
+                        ))
+                    })?
+                }
+            };
+            let diags = speakup_lint::lint_workspace(&root)?;
+            if *json {
+                write!(out, "{}", speakup_lint::render_json(&diags))?;
+            } else {
+                write!(out, "{}", speakup_lint::render_report(&diags))?;
+            }
+            if speakup_lint::has_errors(&diags) {
+                let errors = diags.len();
+                return Err(std::io::Error::other(format!(
+                    "lint found {errors} violation(s)"
+                )));
+            }
+            Ok(())
+        }
         Command::Compare {
             paths,
             tol_scale,
@@ -723,6 +788,26 @@ mod tests {
         assert!(parse(&s(&["run", "fig3", "--jobs", "0"])).is_err());
         assert!(parse(&s(&["compare"])).is_err());
         assert!(parse(&s(&["compare", "x.json", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_lint() {
+        assert_eq!(
+            parse(&s(&["lint"])).unwrap(),
+            Command::Lint {
+                root: None,
+                json: false
+            }
+        );
+        assert_eq!(
+            parse(&s(&["lint", "--root", "/tmp/ws", "--json"])).unwrap(),
+            Command::Lint {
+                root: Some("/tmp/ws".into()),
+                json: true
+            }
+        );
+        assert!(parse(&s(&["lint", "--root"])).is_err());
+        assert!(parse(&s(&["lint", "--frobnicate"])).is_err());
         assert!(parse(&s(&["compare", "x.json", "--tol", "-1"])).is_err());
     }
 

@@ -1,0 +1,391 @@
+//! A minimal Rust lexer for the determinism-audit scanner.
+//!
+//! Produces a flat token stream (identifiers, single-char punctuation,
+//! literals, lifetimes) plus the comment text per line — enough for the
+//! pattern rules in [`crate::rules`] and for parsing `lint: allow(...)`
+//! annotations, without a full parser or any external dependency. The
+//! lexer's one hard job is never to mistake comment or string contents
+//! for code: a `HashMap.iter()` inside a doc example must not trip a
+//! rule, and an `unwrap()` inside a string literal is data, not code.
+
+/// What a token is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `as`, `HashMap`, ...).
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// A string/char/number literal, kept as one opaque token.
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token: kind plus byte range into the source and a 1-based line.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of the first character.
+    pub line: u32,
+}
+
+/// A comment's text (markers stripped) and the line it starts on.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub line: u32,
+    /// Comment body, without the `//`/`/*`/`*/` markers.
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (line and block alike).
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Unterminated constructs (string,
+/// block comment) consume to end of input rather than erroring: the
+/// scanner runs on code that already compiles, so this is best-effort
+/// robustness, not validation.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Track newlines inside a consumed span.
+    fn count_lines(b: &[u8], from: usize, to: usize) -> u32 {
+        let mut n = 0;
+        let mut j = from;
+        while j < to {
+            if b[j] == b'\n' {
+                n += 1;
+            }
+            j += 1;
+        }
+        n
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..j].to_string(),
+                });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let at = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: at,
+                    text: src[start..end].to_string(),
+                });
+                i = j;
+            }
+            b'"' => {
+                let start = i;
+                let at = line;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i = (i + 2).min(b.len()),
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    start,
+                    end: i,
+                    line: at,
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let start = i;
+                let at = line;
+                // Skip the prefix letters (`r`, `b`, `br`).
+                while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+                    i += 1;
+                }
+                if b.get(i) == Some(&b'#') || b.get(i) == Some(&b'"') {
+                    let mut hashes = 0usize;
+                    while b.get(i) == Some(&b'#') {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&b'"') {
+                        i += 1;
+                        // Consume until `"` followed by `hashes` hashes.
+                        'scan: while i < b.len() {
+                            if b[i] == b'"' {
+                                let mut k = 0usize;
+                                while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    i += 1 + hashes;
+                                    break 'scan;
+                                }
+                            }
+                            if b[i] == b'\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                    } else if b.get(i) == Some(&b'\'') {
+                        // `b'x'` byte char literal.
+                        i += 1;
+                        if b.get(i) == Some(&b'\\') {
+                            i += 1;
+                        }
+                        i += 1;
+                        if b.get(i) == Some(&b'\'') {
+                            i += 1;
+                        }
+                    }
+                }
+                line += count_lines(b, start, i.min(b.len()));
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    start,
+                    end: i.min(b.len()),
+                    line: at,
+                });
+            }
+            b'\'' => {
+                let start = i;
+                // Distinguish a char literal (`'a'`, `'\n'`) from a
+                // lifetime (`'a`, `'static`): a lifetime's identifier is
+                // not followed by a closing quote.
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: consume to the closing quote.
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        start,
+                        end: i,
+                        line,
+                    });
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    if j == i + 1 {
+                        // Bare quote (shouldn't happen in valid code).
+                        i += 1;
+                    } else if b.get(j) == Some(&b'\'') {
+                        // 'a' — a char literal.
+                        i = j + 1;
+                        out.tokens.push(Token {
+                            kind: TokKind::Literal,
+                            start,
+                            end: i,
+                            line,
+                        });
+                    } else {
+                        // 'a — a lifetime.
+                        i = j;
+                        out.tokens.push(Token {
+                            kind: TokKind::Lifetime,
+                            start,
+                            end: i,
+                            line,
+                        });
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        // `1.5` continues the literal; `1..x` and
+                        // `1.min(..)` do not.
+                        i += 1;
+                    } else if (d == b'+' || d == b'-')
+                        && matches!(b.get(i.wrapping_sub(1)), Some(&b'e') | Some(&b'E'))
+                    {
+                        // Exponent sign in `1e-5`.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    start,
+                    end: i,
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    start,
+                    end: i,
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(c as char),
+                    start: i,
+                    end: i + 1,
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` starts a raw/byte string (or byte char) rather
+/// than a plain identifier beginning with `r`/`b`.
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    // Only prefixes `r`, `b`, `br` count; `rb` is not a string prefix.
+    if j - i == 2 && !(b[i] == b'b' && b[i + 1] == b'r') {
+        return false;
+    }
+    match b.get(j) {
+        Some(&b'"') => true,
+        Some(&b'#') => {
+            let mut k = j;
+            while b.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            b.get(k) == Some(&b'"')
+        }
+        Some(&b'\'') => b[i] == b'b' && j - i == 1,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        let l = lex(src);
+        l.tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| src[t.start..t.end].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let src = "// map.iter() here\nfn f() {} /* unwrap() */";
+        let l = lex(src);
+        assert_eq!(idents(src), vec!["fn", "f"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("map.iter()"));
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_are_opaque_literals() {
+        let src = r#"let s = "Instant::now() .unwrap()"; let r = r#""#.to_string() + "\"x\"#;";
+        assert_eq!(idents(&src), vec!["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'b' }";
+        let l = lex(src);
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn lines_advance_through_block_comments() {
+        let src = "/* a\nb\nc */\nfn f() {}";
+        let l = lex(src);
+        let f = l.tokens.first().expect("fn token");
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn numeric_literals_stop_before_method_calls() {
+        let src = "let x = 1.min(2); let y = 1.5e-3;";
+        assert_eq!(idents(src), vec!["let", "x", "min", "let", "y"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still */ fn g() {}";
+        assert_eq!(idents(src), vec!["fn", "g"]);
+    }
+}

@@ -1,0 +1,100 @@
+#![forbid(unsafe_code)]
+//! `speakup-lint` — scan the workspace for determinism-rule violations.
+//!
+//! Exit status: 0 when clean (or warnings only), 1 on any error-severity
+//! diagnostic, 2 on usage/IO failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+speakup-lint — determinism-audit static analysis over the workspace
+
+USAGE:
+    speakup-lint [--root <dir>] [--json]
+    speakup-lint --rules
+
+OPTIONS:
+    --root <dir>   Workspace root to scan (default: ascend from cwd to
+                   the first Cargo.toml containing [workspace])
+    --json         Emit diagnostics as a JSON array instead of text
+    --rules        List the rule set and exit
+    --help         Show this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("error: --root requires a directory\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--json" => json = true,
+            "--rules" => {
+                for r in speakup_lint::RULES {
+                    println!("{:<14} {:<8} {}", r.id, r.severity.to_string(), r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot read cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match speakup_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diags = match speakup_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", speakup_lint::render_json(&diags));
+    } else {
+        print!("{}", speakup_lint::render_report(&diags));
+    }
+
+    if speakup_lint::has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

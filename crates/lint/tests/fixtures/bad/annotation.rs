@@ -1,0 +1,9 @@
+pub fn truncate(x: u64) -> u32 {
+    // lint: allow(casts) — misspelled rule name
+    x as u32
+}
+
+pub fn shrink(x: u64) -> u16 {
+    // lint: allow(cast)
+    x as u16
+}

@@ -1,0 +1,4 @@
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

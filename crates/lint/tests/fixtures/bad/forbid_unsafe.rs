@@ -1,0 +1,5 @@
+//! A lib root missing the forbid attribute, with an unsafe block.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,19 @@
+use std::collections::HashMap;
+
+pub struct Table {
+    rows: HashMap<u64, u64>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u64 {
+        let mut s = 0;
+        for (_k, v) in &self.rows {
+            s += v;
+        }
+        s
+    }
+
+    pub fn drop_zeros(&mut self) {
+        self.rows.retain(|_, v| *v != 0);
+    }
+}

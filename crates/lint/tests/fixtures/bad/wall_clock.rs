@@ -1,0 +1,4 @@
+// Deterministic lib code reading the wall clock.
+pub fn stamp() -> std::time::Instant {
+    Instant::now()
+}

@@ -1,0 +1,4 @@
+pub fn low_bits(x: u64) -> u32 {
+    // lint: allow(cast) — intentionally keeps the low 32 bits
+    x as u32
+}

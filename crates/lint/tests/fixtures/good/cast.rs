@@ -1,0 +1,20 @@
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}
+
+pub fn narrow(x: u64) -> u32 {
+    u32::try_from(x).expect("invariant: callers pass small ids")
+}
+
+pub fn packed(x: u64) -> u64 {
+    // lint: allow(cast) — masked to 8 bits, never truncates
+    (x & 0xff) as u8 as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_cast() {
+        assert_eq!(3u64 as u32, 3);
+    }
+}

@@ -1,0 +1,4 @@
+pub fn roll(seed: u64) -> u32 {
+    let mut rng = Pcg32::new(seed, 7);
+    rng.next_u32()
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! A lib root carrying the required attribute.
+
+pub fn safe() -> u8 {
+    0
+}

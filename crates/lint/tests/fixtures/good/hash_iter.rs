@@ -1,0 +1,20 @@
+use std::collections::HashMap;
+
+pub struct Table {
+    rows: HashMap<u64, u64>,
+}
+
+impl Table {
+    // Point lookups never observe iteration order.
+    pub fn get(&self, k: u64) -> Option<u64> {
+        self.rows.get(&k).copied()
+    }
+
+    pub fn put(&mut self, k: u64, v: u64) {
+        self.rows.insert(k, v);
+    }
+
+    pub fn size(&self) -> usize {
+        self.rows.len()
+    }
+}

@@ -1,0 +1,3 @@
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().expect("invariant: callers pass non-empty slices")
+}

@@ -72,8 +72,34 @@ const GRANULE_BITS: u32 = 13;
 const LEVEL_BITS: u32 = 6;
 /// Slots per level.
 const SLOTS: usize = 1 << LEVEL_BITS;
+/// Mask selecting one level's slot index out of a granule.
+const SLOT_MASK: u64 = (1u64 << LEVEL_BITS) - 1;
 /// Levels needed to cover all 64 − [`GRANULE_BITS`] granule bits.
 const LEVELS: usize = 9;
+
+/// Bit shift of level `level`'s slot-index field within a granule.
+#[inline]
+fn level_shift(level: usize) -> u32 {
+    debug_assert!(level < LEVELS);
+    // lint: allow(cast) — level < LEVELS = 9, trivially fits u32
+    LEVEL_BITS * level as u32
+}
+
+/// Vec index for a 6-bit slot number extracted via [`SLOT_MASK`].
+#[inline]
+fn idx_of(idx: u64) -> usize {
+    debug_assert!(idx <= SLOT_MASK);
+    // lint: allow(cast) — masked to 6 bits, never truncates
+    idx as usize
+}
+
+/// Vec index for a 24-bit cancellation slot from the packed word.
+#[inline]
+fn slot_of(slot: u64) -> usize {
+    debug_assert!(slot <= NO_SLOT);
+    // lint: allow(cast) — slot is 24-bit by construction (masked with NO_SLOT)
+    slot as usize
+}
 
 /// Low bits of [`Entry::seq_slot`] holding the cancellation slot.
 const SLOT_BITS: u32 = 24;
@@ -220,9 +246,10 @@ impl<E> EventQueue<E> {
         let slot = match self.free_slots.pop() {
             Some(s) => s,
             None => {
-                let s = self.cancel_slots.len() as u32;
+                let s = u32::try_from(self.cancel_slots.len())
+                    .expect("invariant: slot count bounded by NO_SLOT assert below");
                 assert!(
-                    (s as u64) < NO_SLOT,
+                    u64::from(s) < NO_SLOT,
                     "cancellable-event slot space exhausted"
                 );
                 self.cancel_slots.push(CancelSlot {
@@ -232,14 +259,16 @@ impl<E> EventQueue<E> {
                 s
             }
         };
-        let generation = self.cancel_slots[slot as usize].generation;
+        let generation = self.cancel_slots
+            [usize::try_from(slot).expect("invariant: u32 slot fits usize")]
+        .generation;
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending += 1;
         self.place(Entry {
             time,
             lane,
-            seq_slot: seq_slot(seq, slot as u64),
+            seq_slot: seq_slot(seq, u64::from(slot)),
             event,
         });
         EventHandle { slot, generation }
@@ -249,7 +278,10 @@ impl<E> EventQueue<E> {
     /// already fired (or was already cancelled) is a no-op and costs no
     /// memory — the handle's generation no longer matches its slot.
     pub fn cancel(&mut self, handle: EventHandle) {
-        let Some(rec) = self.cancel_slots.get_mut(handle.slot as usize) else {
+        let Some(rec) = self
+            .cancel_slots
+            .get_mut(usize::try_from(handle.slot).expect("invariant: u32 slot fits usize"))
+        else {
             return;
         };
         if rec.generation == handle.generation && !rec.cancelled {
@@ -313,10 +345,11 @@ impl<E> EventQueue<E> {
         let level = if diff == 0 {
             0
         } else {
+            // lint: allow(cast) — u32 -> usize widening; value < LEVELS
             ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize
         };
         debug_assert!(level < LEVELS);
-        let idx = ((granule >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let idx = idx_of((granule >> level_shift(level)) & SLOT_MASK);
         self.slots[level * SLOTS + idx].push(e);
         self.occupancy[level] |= 1 << idx;
     }
@@ -326,10 +359,11 @@ impl<E> EventQueue<E> {
         if slot == NO_SLOT {
             return;
         }
-        let rec = &mut self.cancel_slots[slot as usize];
+        let rec = &mut self.cancel_slots[slot_of(slot)];
         rec.generation += 1;
         rec.cancelled = false;
-        self.free_slots.push(slot as u32);
+        self.free_slots
+            .push(u32::try_from(slot).expect("invariant: slot is 24-bit"));
     }
 
     /// Establish the pop invariant: `ready`'s top is the global earliest
@@ -339,7 +373,7 @@ impl<E> EventQueue<E> {
         loop {
             while let Some(top) = self.ready.peek() {
                 let slot = top.slot();
-                if slot != NO_SLOT && self.cancel_slots[slot as usize].cancelled {
+                if slot != NO_SLOT && self.cancel_slots[slot_of(slot)].cancelled {
                     let e = self.ready.pop().expect("peeked");
                     self.retire(e.slot());
                 } else {
@@ -363,14 +397,14 @@ impl<E> EventQueue<E> {
             // level's.
             let mut found = None;
             for (level, &occ) in self.occupancy.iter().enumerate() {
-                let at = (self.cursor >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1);
+                let at = (self.cursor >> level_shift(level)) & SLOT_MASK;
                 debug_assert_eq!(
                     occ & !(u64::MAX << at),
                     0,
                     "occupied slot behind the cursor"
                 );
                 if occ != 0 {
-                    found = Some((level, occ.trailing_zeros() as u64));
+                    found = Some((level, u64::from(occ.trailing_zeros())));
                     break;
                 }
             }
@@ -378,14 +412,14 @@ impl<E> EventQueue<E> {
                 return false;
             };
             self.occupancy[level] &= !(1 << idx);
-            let mut entries = mem::take(&mut self.slots[level * SLOTS + idx as usize]);
+            let mut entries = mem::take(&mut self.slots[level * SLOTS + idx_of(idx)]);
             if level == 0 {
-                let granule = (self.cursor & !(SLOTS as u64 - 1)) | idx;
+                let granule = (self.cursor & !SLOT_MASK) | idx;
                 debug_assert!(granule >= self.cursor);
                 self.cursor = granule + 1;
                 self.ready.extend(entries.drain(..));
                 // Hand the allocation back to the slot for reuse.
-                self.slots[idx as usize] = entries;
+                self.slots[idx_of(idx)] = entries;
                 // If the increment carried across a block boundary, the
                 // cursor just entered fresh higher-level slots; cascade
                 // them now so new level-0 pushes into the entered block
@@ -393,7 +427,7 @@ impl<E> EventQueue<E> {
                 // carry that crosses the level-l boundary zeroes every
                 // bit below 6l, so the entered slots are checked in one
                 // low-bits scan.)
-                if self.cursor & (SLOTS as u64 - 1) == 0 {
+                if self.cursor & SLOT_MASK == 0 {
                     self.cascade_entered_blocks();
                 }
                 return true;
@@ -401,7 +435,7 @@ impl<E> EventQueue<E> {
             // Cascade: move the cursor to the slot's base granule (all
             // lower levels are provably empty up to there) and re-file
             // the entries, which now land at lower levels.
-            let shift = LEVEL_BITS * level as u32;
+            let shift = level_shift(level);
             let span_mask = (1u64 << (shift + LEVEL_BITS)) - 1;
             let base = (self.cursor & !span_mask) | (idx << shift);
             debug_assert!(base >= self.cursor);
@@ -409,7 +443,7 @@ impl<E> EventQueue<E> {
             for e in entries.drain(..) {
                 self.place(e);
             }
-            self.slots[level * SLOTS + idx as usize] = entries;
+            self.slots[level * SLOTS + idx_of(idx)] = entries;
         }
     }
 
@@ -422,11 +456,11 @@ impl<E> EventQueue<E> {
     /// entered the block.
     fn cascade_entered_blocks(&mut self) {
         for level in 1..LEVELS {
-            let shift = LEVEL_BITS * level as u32;
+            let shift = level_shift(level);
             if self.cursor & ((1u64 << shift) - 1) != 0 {
                 break;
             }
-            let idx = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as usize;
+            let idx = idx_of((self.cursor >> shift) & SLOT_MASK);
             if self.occupancy[level] & (1 << idx) == 0 {
                 continue;
             }
@@ -576,9 +610,9 @@ mod tests {
         q.push(SimTime::from_secs(3), "c");
         q.push(SimTime::from_secs(1), "a");
         q.push(SimTime::from_secs(2), "b");
-        assert_eq!(q.pop().unwrap().1, "a");
-        assert_eq!(q.pop().unwrap().1, "b");
-        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "a");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "b");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "c");
         assert!(q.pop().is_none());
     }
 
@@ -590,7 +624,7 @@ mod tests {
             q.push(t, i);
         }
         for i in 0..100 {
-            assert_eq!(q.pop().unwrap().1, i);
+            assert_eq!(q.pop().expect("invariant: event still pending").1, i);
         }
     }
 
@@ -604,11 +638,17 @@ mod tests {
         q.push_lane(t, 2, "lane2-second");
         // Earlier time always wins over lane.
         q.push_lane(SimTime::from_secs(2), 0, "later");
-        assert_eq!(q.pop().unwrap().1, "lane2-first");
-        assert_eq!(q.pop().unwrap().1, "lane2-second");
-        assert_eq!(q.pop().unwrap().1, "lane5");
-        assert_eq!(q.pop().unwrap().1, "lane9");
-        assert_eq!(q.pop().unwrap().1, "later");
+        assert_eq!(
+            q.pop().expect("invariant: event still pending").1,
+            "lane2-first"
+        );
+        assert_eq!(
+            q.pop().expect("invariant: event still pending").1,
+            "lane2-second"
+        );
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "lane5");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "lane9");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "later");
     }
 
     #[test]
@@ -619,10 +659,20 @@ mod tests {
         q.push(SimTime::from_secs(3), "c");
         q.cancel(h);
         assert_eq!(q.pop_before(SimTime::from_secs(1)), None, "strict bound");
-        assert_eq!(q.pop_before(SimTime::from_secs(2)).unwrap().1, "a");
+        assert_eq!(
+            q.pop_before(SimTime::from_secs(2))
+                .expect("invariant: \"a\" is below the bound")
+                .1,
+            "a"
+        );
         // The cancelled "b" is skipped; "c" sits at the bound.
         assert_eq!(q.pop_before(SimTime::from_secs(3)), None);
-        assert_eq!(q.pop_before(SimTime::MAX).unwrap().1, "c");
+        assert_eq!(
+            q.pop_before(SimTime::MAX)
+                .expect("invariant: \"c\" still pending")
+                .1,
+            "c"
+        );
         assert_eq!(q.pop_before(SimTime::MAX), None);
     }
 
@@ -632,7 +682,7 @@ mod tests {
         let h1 = q.push(SimTime::from_secs(1), "a");
         q.push(SimTime::from_secs(2), "b");
         q.cancel(h1);
-        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "b");
         assert!(q.pop().is_none());
     }
 
@@ -640,10 +690,10 @@ mod tests {
     fn cancel_after_fire_is_noop() {
         let mut q = EventQueue::new();
         let h = q.push(SimTime::from_secs(1), "a");
-        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "a");
         q.cancel(h);
         q.push(SimTime::from_secs(2), "b");
-        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "b");
     }
 
     #[test]
@@ -687,7 +737,7 @@ mod tests {
             q.push_lane(SimTime::from_nanos(t), 0, i);
         }
         for (i, &t) in times.iter().enumerate() {
-            let (at, got) = q.pop().unwrap();
+            let (at, got) = q.pop().expect("invariant: event still pending");
             assert_eq!((at, got), (SimTime::from_nanos(t), i));
         }
         assert!(q.pop().is_none());
@@ -701,9 +751,9 @@ mod tests {
         q.push_lane(SimTime::from_nanos(900), 5, "b");
         q.push_lane(SimTime::from_nanos(1000), 0, "c");
         q.push_lane(SimTime::from_nanos(900), 1, "a");
-        assert_eq!(q.pop().unwrap().1, "a");
-        assert_eq!(q.pop().unwrap().1, "b");
-        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "a");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "b");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "c");
     }
 
     #[test]
@@ -713,13 +763,13 @@ mod tests {
         let mut q = EventQueue::new();
         q.push_lane(SimTime::from_nanos(10_000_000), 0, "far");
         q.push_lane(SimTime::from_nanos(100), 0, "early");
-        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "early");
         // Cursor is now past t=100ns; schedule below it.
         q.push_lane(SimTime::from_nanos(200), 7, "late-b");
         q.push_lane(SimTime::from_nanos(200), 3, "late-a");
-        assert_eq!(q.pop().unwrap().1, "late-a");
-        assert_eq!(q.pop().unwrap().1, "late-b");
-        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "late-a");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "late-b");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "far");
     }
 
     #[test]
@@ -743,9 +793,18 @@ mod tests {
         q.push_lane(t, 3, "no-handle-first");
         let h = q.push_lane_handle(t, 3, "slot0-second");
         q.push_lane(t, 3, "no-handle-third");
-        assert_eq!(q.pop().unwrap().1, "no-handle-first");
-        assert_eq!(q.pop().unwrap().1, "slot0-second");
-        assert_eq!(q.pop().unwrap().1, "no-handle-third");
+        assert_eq!(
+            q.pop().expect("invariant: event still pending").1,
+            "no-handle-first"
+        );
+        assert_eq!(
+            q.pop().expect("invariant: event still pending").1,
+            "slot0-second"
+        );
+        assert_eq!(
+            q.pop().expect("invariant: event still pending").1,
+            "no-handle-third"
+        );
         q.cancel(h); // stale; exercises slot extraction post-fire
         assert!(q.pop().is_none());
     }
@@ -759,7 +818,7 @@ mod tests {
         let mut stale = Vec::new();
         for i in 0..10_000u64 {
             let h = q.push_lane_handle(SimTime::from_nanos(i * 50), 0, i);
-            assert_eq!(q.pop().unwrap().1, i);
+            assert_eq!(q.pop().expect("invariant: event still pending").1, i);
             stale.push(h);
         }
         for h in stale {
@@ -838,12 +897,12 @@ mod tests {
         use super::reference::HeapQueue;
         let mut q = HeapQueue::new();
         let h = q.push_lane(SimTime::from_secs(1), 0, "a");
-        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "a");
         q.cancel(h); // fired already: tombstone leaks
         assert_eq!(q.len(), 0);
         assert!(q.is_empty());
         q.push_lane(SimTime::from_secs(2), 0, "b");
         assert_eq!(q.len(), 0, "leaked tombstone undercounts (known wart)");
-        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().expect("invariant: event still pending").1, "b");
     }
 }

@@ -38,6 +38,7 @@ macro_rules! identifier {
         impl $crate::ids::Ident for $name {
             #[inline]
             fn index(self) -> usize {
+                // lint: allow(cast) — the blessed u32 -> usize widening accessor
                 self.0 as usize
             }
             #[inline]

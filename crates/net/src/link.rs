@@ -187,7 +187,8 @@ impl Link {
         // Pre-size the queue for its byte budget in full-size packets so
         // steady-state enqueues never grow the ring (capped to keep huge
         // queue configs from reserving memory they may never use).
-        let cap = (cfg.queue_bytes / 1500 + 1).min(4096) as usize;
+        let cap = usize::try_from((cfg.queue_bytes / 1500 + 1).min(4096))
+            .expect("invariant: min-clamped to 4096");
         Link {
             cfg,
             dst,
@@ -208,15 +209,15 @@ impl Link {
         }
         if self.in_flight.is_none() {
             debug_assert!(self.queue.is_empty());
-            let tx = self.tx_time(packet.size as u64);
+            let tx = self.tx_time(u64::from(packet.size));
             self.in_flight = Some(packet);
             return Enqueue::StartTx(tx);
         }
-        if self.queued_bytes + packet.size as u64 > self.cfg.queue_bytes {
+        if self.queued_bytes + u64::from(packet.size) > self.cfg.queue_bytes {
             self.stats.drops_overflow += 1;
             return Enqueue::Dropped;
         }
-        self.queued_bytes += packet.size as u64;
+        self.queued_bytes += u64::from(packet.size);
         self.stats.max_queued_bytes = self.stats.max_queued_bytes.max(self.queued_bytes);
         self.queue.push_back(packet);
         Enqueue::Queued
@@ -228,10 +229,10 @@ impl Link {
     pub fn tx_done(&mut self) -> (Packet, Option<SimDuration>) {
         let done = self.in_flight.take().expect("tx_done on idle link");
         self.stats.tx_packets += 1;
-        self.stats.tx_bytes += done.size as u64;
+        self.stats.tx_bytes += u64::from(done.size);
         let next = self.queue.pop_front().map(|p| {
-            self.queued_bytes -= p.size as u64;
-            let tx = self.tx_time(p.size as u64);
+            self.queued_bytes -= u64::from(p.size);
+            let tx = self.tx_time(u64::from(p.size));
             self.in_flight = Some(p);
             tx
         });

@@ -31,12 +31,14 @@ impl FlowId {
     /// The opening node's id, as an index.
     #[inline]
     pub fn node_index(self) -> usize {
+        // lint: allow(cast) — widening: the packed id's high 12 bits
         (self.0 >> FLOW_NTH_BITS) as usize
     }
 
     /// The flow's per-node counter, as an index.
     #[inline]
     pub fn per_node_index(self) -> usize {
+        // lint: allow(cast) — widening: the packed id's low 20 bits
         (self.0 & ((1 << FLOW_NTH_BITS) - 1)) as usize
     }
 }

@@ -52,6 +52,7 @@
 //!   and `K = 4` see identical timelines.
 
 use crate::event::{EventHandle, EventQueue};
+use crate::ids::Ident;
 use crate::link::{DropSampler, Enqueue, Link, LinkStats};
 use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind, FLOW_NTH_BITS};
 use crate::rng::Pcg32;
@@ -195,17 +196,24 @@ pub fn flow_id(node: NodeId, nth: u32) -> FlowId {
 // the locally-armed RTO events would let an exact-time RTO/abort tie
 // fall to insertion order, which barrier exchange changes with the
 // shard count.
+/// Vec index for a dense shard number.
+#[inline]
+fn shard_idx(shard: u32) -> usize {
+    // lint: allow(cast) — u32 -> usize widening on 64-bit targets
+    shard as usize
+}
+
 fn lane_link(l: LinkId) -> u64 {
-    l.0 as u64
+    u64::from(l.0)
 }
 fn lane_node(n: NodeId) -> u64 {
-    (1 << 32) | n.0 as u64
+    (1 << 32) | u64::from(n.0)
 }
 fn lane_flow(f: FlowId) -> u64 {
-    (2 << 32) | f.0 as u64
+    (2 << 32) | u64::from(f.0)
 }
 fn lane_ctl(f: FlowId) -> u64 {
-    (3 << 32) | f.0 as u64
+    (3 << 32) | u64::from(f.0)
 }
 
 /// Lazily re-armed retransmission timer for one flow (see the
@@ -356,14 +364,20 @@ impl World {
         num_shards: usize,
         seed: u64,
     ) -> Self {
-        let n = topology.node_count() as usize;
+        let n = topology.node_slots();
         let mut links = Vec::with_capacity(topology.edges().len());
         let mut link_faults = Vec::with_capacity(topology.edges().len());
         for (i, e) in topology.edges().iter().enumerate() {
-            if assignment[e.from.0 as usize] == shard {
+            if assignment[e.from.index()] == shard {
                 links.push(Some(Link::new(e.cfg, e.to)));
                 link_faults.push((e.cfg.drop_prob > 0.0).then(|| {
-                    DropSampler::new(Pcg32::new(seed, STREAM_LINK | i as u64), e.cfg.drop_prob)
+                    DropSampler::new(
+                        Pcg32::new(
+                            seed,
+                            STREAM_LINK | u64::try_from(i).expect("invariant: link index fits u64"),
+                        ),
+                        e.cfg.drop_prob,
+                    )
                 }));
             } else {
                 links.push(None);
@@ -371,7 +385,14 @@ impl World {
             }
         }
         let node_rngs = (0..n)
-            .map(|i| (assignment[i] == shard).then(|| Pcg32::new(seed, STREAM_NODE | i as u64)))
+            .map(|i| {
+                (assignment[i] == shard).then(|| {
+                    Pcg32::new(
+                        seed,
+                        STREAM_NODE | u64::try_from(i).expect("invariant: node index fits u64"),
+                    )
+                })
+            })
             .collect();
         World {
             shard,
@@ -425,7 +446,7 @@ impl World {
 
     /// Statistics for a link owned by this shard.
     pub fn link_stats(&self, id: LinkId) -> LinkStats {
-        self.links[id.0 as usize]
+        self.links[id.index()]
             .as_ref()
             .unwrap_or_else(|| panic!("link {id} not owned by this shard"))
             .stats
@@ -437,7 +458,7 @@ impl World {
     }
 
     fn shard_of(&self, node: NodeId) -> u32 {
-        self.assignment[node.0 as usize]
+        self.assignment[node.index()]
     }
 
     /// The view a node's application sees of the flow: its own role's
@@ -464,7 +485,7 @@ impl World {
             self.queue.push_lane(time, lane, event);
         } else {
             self.cross_shard_events += 1;
-            self.outboxes[to_shard as usize].push(Remote { time, lane, event });
+            self.outboxes[shard_idx(to_shard)].push(Remote { time, lane, event });
         }
     }
 
@@ -485,8 +506,8 @@ impl World {
             "flow endpoints must be mutually reachable ({src} <-> {dst})"
         );
         assert_ne!(src, dst, "flows must connect distinct nodes");
-        let nth = self.flow_counts[src.0 as usize];
-        self.flow_counts[src.0 as usize] = nth + 1;
+        let nth = self.flow_counts[src.index()];
+        self.flow_counts[src.index()] = nth + 1;
         let id = flow_id(src, nth);
         self.flows_tx.insert(id, Flow::new(id, src, dst, cfg));
         let at = self.now + self.ctl_delay(src, dst);
@@ -511,11 +532,11 @@ impl World {
             .unwrap_or_else(|| panic!("no route {at} -> {}", packet.dst));
         // Loss-free links (the overwhelmingly common case) skip fault
         // sampling entirely; lossy links consult their batched sampler.
-        let dropped = match self.link_faults[lid.0 as usize].as_mut() {
+        let dropped = match self.link_faults[lid.index()].as_mut() {
             Some(sampler) => sampler.offer(),
             None => false,
         };
-        let link = self.links[lid.0 as usize]
+        let link = self.links[lid.index()]
             .as_mut()
             .expect("routing over a link this shard does not own");
         // The roll is pre-decided: 0.0 forces the drop branch, 1.0 can
@@ -682,7 +703,7 @@ impl World {
     fn handle_event(&mut self, ev: Event) {
         match ev {
             Event::TxDone(lid) => {
-                let link = self.links[lid.0 as usize].as_mut().expect("owned link");
+                let link = self.links[lid.index()].as_mut().expect("owned link");
                 let delay = link.cfg.delay;
                 let dst = link.dst;
                 let (packet, next) = link.tx_done();
@@ -816,7 +837,7 @@ impl<'a> Ctx<'a> {
     /// This node's deterministic RNG stream (derived from `(seed, node)`,
     /// so it is independent of sharding and of other nodes' draws).
     pub fn rng(&mut self) -> &mut Pcg32 {
-        self.world.node_rngs[self.node.0 as usize]
+        self.world.node_rngs[self.node.index()]
             .as_mut()
             .expect("rng of a foreign node")
     }
@@ -955,7 +976,7 @@ impl<S: AppSet> Shard<S> {
         // `Ctx` can only reach the world, never another app slot — and it
         // avoids moving the (large, inline) app value out and back per
         // callback.
-        let app = self.apps[node.0 as usize]
+        let app = self.apps[node.index()]
             .as_mut()
             .unwrap_or_else(|| panic!("no app on {node}"));
         self.dispatch_counts[app.variant_index()] += 1;
@@ -992,7 +1013,7 @@ impl<S: AppSet> Shard<S> {
         self.started = true;
         for i in 0..self.apps.len() {
             if self.apps[i].is_some() {
-                self.with_app(NodeId(i as u32), |a, ctx| a.start(ctx));
+                self.with_app(NodeId::from_index(i), |a, ctx| a.start(ctx));
                 self.dispatch_notifies();
             }
         }
@@ -1128,7 +1149,7 @@ impl Simulator {
     /// Create a single-shard simulator over `topology`, seeded for
     /// determinism.
     pub fn new(topology: Topology, seed: u64) -> Self {
-        let n = topology.node_count() as usize;
+        let n = topology.node_slots();
         Self::new_sharded(topology, seed, vec![0; n])
     }
 
@@ -1148,15 +1169,15 @@ impl<S: AppSet> Simulator<S> {
     pub fn new_sharded_slots(topology: Topology, seed: u64, assignment: Vec<u32>) -> Self {
         assert_eq!(
             assignment.len(),
-            topology.node_count() as usize,
+            topology.node_slots(),
             "one shard assignment per node"
         );
-        let num_shards = assignment.iter().copied().max().unwrap_or(0) as usize + 1;
+        let num_shards = shard_idx(assignment.iter().copied().max().unwrap_or(0)) + 1;
         let lookahead = Self::pairwise_lookahead(&topology, &assignment, num_shards);
         let topology = Arc::new(topology);
         let assignment = Arc::new(assignment);
-        let n = topology.node_count() as usize;
-        let shards = (0..num_shards as u32)
+        let n = topology.node_slots();
+        let shards = (0..u32::try_from(num_shards).expect("invariant: shard count fits u32"))
             .map(|s| {
                 let mut apps = Vec::with_capacity(n);
                 apps.resize_with(n, || None);
@@ -1202,8 +1223,8 @@ impl<S: AppSet> Simulator<S> {
             return la;
         }
         for e in topology.edges() {
-            let j = assignment[e.from.0 as usize] as usize;
-            let i = assignment[e.to.0 as usize] as usize;
+            let j = shard_idx(assignment[e.from.index()]);
+            let i = shard_idx(assignment[e.to.index()]);
             if j != i {
                 assert!(
                     e.cfg.delay > SimDuration::ZERO,
@@ -1249,7 +1270,7 @@ impl<S: AppSet> Simulator<S> {
     /// `None` when `from` can never hand `to` an event.
     pub fn lookahead_between(&self, from: u32, to: u32) -> Option<SimDuration> {
         let k = self.shards.len();
-        let v = self.lookahead[from as usize * k + to as usize];
+        let v = self.lookahead[shard_idx(from) * k + shard_idx(to)];
         (v != NO_INTERACTION).then_some(SimDuration::from_nanos(v))
     }
 
@@ -1283,8 +1304,8 @@ impl<S: AppSet> Simulator<S> {
     /// Install an application on `node` as an [`AppSet`] value directly
     /// (no box, no recovery). Replaces any previous one.
     pub fn add_slot(&mut self, node: NodeId, app: S) {
-        let shard = self.assignment[node.0 as usize] as usize;
-        self.shards[shard].apps[node.0 as usize] = Some(app);
+        let shard = shard_idx(self.assignment[node.index()]);
+        self.shards[shard].apps[node.index()] = Some(app);
     }
 
     /// Callbacks delivered per app variant, summed over shards and
@@ -1306,21 +1327,21 @@ impl<S: AppSet> Simulator<S> {
 
     /// Read access to the world shard owning `node`.
     pub fn world_of(&self, node: NodeId) -> &World {
-        &self.shards[self.assignment[node.0 as usize] as usize].world
+        &self.shards[shard_idx(self.assignment[node.index()])].world
     }
 
     /// Downcast the application on `node` to a concrete type.
     pub fn app<T: App>(&self, node: NodeId) -> Option<&T> {
-        let shard = self.assignment[node.0 as usize] as usize;
-        self.shards[shard].apps[node.0 as usize]
+        let shard = shard_idx(self.assignment[node.index()]);
+        self.shards[shard].apps[node.index()]
             .as_ref()
             .and_then(|a| a.as_any().downcast_ref::<T>())
     }
 
     /// Mutable downcast of the application on `node`.
     pub fn app_mut<T: App>(&mut self, node: NodeId) -> Option<&mut T> {
-        let shard = self.assignment[node.0 as usize] as usize;
-        self.shards[shard].apps[node.0 as usize]
+        let shard = shard_idx(self.assignment[node.index()]);
+        self.shards[shard].apps[node.index()]
             .as_mut()
             .and_then(|a| a.as_any_mut().downcast_mut::<T>())
     }
@@ -1559,13 +1580,17 @@ mod tests {
         );
         sim.add_app(z, Box::new(Receiver::default()));
         sim.run_until(SimTime::from_secs(2));
-        let rx = sim.app::<Receiver>(z).unwrap();
+        let rx = sim
+            .app::<Receiver>(z)
+            .expect("invariant: Receiver installed on z");
         assert_eq!(rx.got.len(), 1);
         assert_eq!(rx.got[0].2, 1);
         // One-way: tx (540B at 10Mbps = 0.432ms) + 5ms prop.
         let arrival = rx.got[0].0.as_secs_f64();
         assert!(arrival > 0.005 && arrival < 0.010, "arrival {arrival}");
-        let tx = sim.app::<Sender>(a).unwrap();
+        let tx = sim
+            .app::<Sender>(a)
+            .expect("invariant: Sender installed on a");
         assert!(tx.drained_at.is_some(), "sender saw the drain");
     }
 
@@ -1586,7 +1611,9 @@ mod tests {
         );
         sim.add_app(z, Box::new(Receiver::default()));
         sim.run_until(SimTime::from_secs(60));
-        let tx = sim.app::<Sender>(a).unwrap();
+        let tx = sim
+            .app::<Sender>(a)
+            .expect("invariant: Sender installed on a");
         let done = tx.drained_at.expect("transfer completed").as_secs_f64();
         // Payload goodput limit: 2e6*8 bits / (2e6 bps * 1460/1500 eff) ≈ 8.2 s.
         assert!(done > 8.0, "faster than the link allows: {done}");
@@ -1609,7 +1636,9 @@ mod tests {
             );
             sim.add_app(z, Box::new(Receiver::default()));
             sim.run_until(SimTime::from_secs(30));
-            sim.app::<Sender>(a).unwrap().drained_at
+            sim.app::<Sender>(a)
+                .expect("invariant: Sender installed on a")
+                .drained_at
         };
         assert_eq!(run(7), run(7));
     }
@@ -1681,7 +1710,9 @@ mod tests {
         );
         sim.add_app(z, Box::new(Receiver::default()));
         sim.run_until(SimTime::from_secs(120));
-        let rx = sim.app::<Receiver>(z).unwrap();
+        let rx = sim
+            .app::<Receiver>(z)
+            .expect("invariant: Receiver installed on z");
         assert_eq!(rx.got.len(), 1, "message must arrive despite loss");
         let f = sim.world().flow(flow_id(a, 0));
         assert!(
@@ -1710,7 +1741,10 @@ mod tests {
             fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
                 self.fired.push(token);
                 if token == 1 {
-                    let h = self.cancelled_handle.take().unwrap();
+                    let h = self
+                        .cancelled_handle
+                        .take()
+                        .expect("invariant: handle stored before timer 2 fires");
                     ctx.cancel_timer(h);
                 }
             }
@@ -1725,7 +1759,12 @@ mod tests {
             }),
         );
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(sim.app::<TimerApp>(a).unwrap().fired, vec![1, 3]);
+        assert_eq!(
+            sim.app::<TimerApp>(a)
+                .expect("invariant: TimerApp installed on a")
+                .fired,
+            vec![1, 3]
+        );
     }
 
     #[test]
@@ -1758,7 +1797,12 @@ mod tests {
         sim.add_app(z, Box::new(PeerWatch::default()));
         sim.run_until(SimTime::from_secs(2));
         let f = flow_id(a, 0);
-        assert_eq!(sim.app::<PeerWatch>(z).unwrap().aborted, vec![f]);
+        assert_eq!(
+            sim.app::<PeerWatch>(z)
+                .expect("invariant: PeerWatch installed on z")
+                .aborted,
+            vec![f]
+        );
         assert!(sim.world().flow(f).is_aborted());
         assert!(sim.world().flow_rx(f).is_aborted());
     }
@@ -1816,10 +1860,18 @@ mod tests {
         }
         sim.add_app(hub, Box::new(Receiver::default()));
         sim.run_until(SimTime::from_secs(20));
-        let got = sim.app::<Receiver>(hub).unwrap().got.clone();
+        let got = sim
+            .app::<Receiver>(hub)
+            .expect("invariant: Receiver installed on hub")
+            .got
+            .clone();
         let drains = leaves
             .iter()
-            .map(|&n| sim.app::<Sender>(n).unwrap().drained_at)
+            .map(|&n| {
+                sim.app::<Sender>(n)
+                    .expect("invariant: Sender installed on every leaf")
+                    .drained_at
+            })
             .collect();
         (got, drains, sim.cross_shard_events())
     }
@@ -1870,7 +1922,9 @@ mod tests {
         // panics the run.
         sim.run_until(SimTime::from_secs(10));
         assert!(sim.cross_shard_events() > 0);
-        let rx = sim.app::<Receiver>(hub).unwrap();
+        let rx = sim
+            .app::<Receiver>(hub)
+            .expect("invariant: Receiver installed on hub");
         assert_eq!(rx.got.len(), 4, "all uploads completed");
     }
 

@@ -106,7 +106,7 @@ mod tests {
         assert_eq!(s.get(a), Some(&10));
         assert_eq!(s.get(b), Some(&11));
         assert_eq!(s.get(flow_id(NodeId(1), 3)), None, "gap stays empty");
-        *s.get_mut(c).unwrap() += 1;
+        *s.get_mut(c).expect("invariant: c was just inserted") += 1;
         assert_eq!(s.get(c), Some(&13));
         assert_eq!(s.take(b), Some(11));
         assert_eq!(s.take(b), None);

@@ -335,7 +335,7 @@ impl Flow {
         if self.aborted {
             return;
         }
-        let end = offset + len as u64;
+        let end = offset + u64::from(len);
         if end > self.rcv_nxt {
             if offset <= self.rcv_nxt && self.ooo.is_empty() {
                 // In-order data with nothing buffered — the steady state
@@ -393,6 +393,7 @@ impl Flow {
 
     /// Current congestion window in bytes.
     pub fn cwnd_bytes(&self) -> u64 {
+        // lint: allow(cast) — f64 -> u64 saturates; cwnd is clamped to [mss, cap]
         self.cwnd as u64
     }
 
@@ -418,6 +419,7 @@ impl Flow {
         if self.cwnd > cap {
             self.cwnd = cap;
         }
+        // lint: allow(cast) — f64 -> u64 saturates; cwnd is clamped to [mss, cap]
         self.stats.max_cwnd = self.stats.max_cwnd.max(self.cwnd as u64);
     }
 
@@ -428,16 +430,17 @@ impl Flow {
             if flight + 1.0 > self.cwnd {
                 break;
             }
-            let len = (self.write_limit - self.snd_nxt).min(self.cfg.mss as u64) as u32;
+            let len = u32::try_from((self.write_limit - self.snd_nxt).min(u64::from(self.cfg.mss)))
+                .expect("invariant: min-clamped by mss");
             out.push(FlowAction::SendData {
                 offset: self.snd_nxt,
                 len,
             });
             self.stats.segments_sent += 1;
             if self.rtt_probe.is_none() {
-                self.rtt_probe = Some((self.snd_nxt + len as u64, now));
+                self.rtt_probe = Some((self.snd_nxt + u64::from(len), now));
             }
-            self.snd_nxt += len as u64;
+            self.snd_nxt += u64::from(len);
         }
     }
 
@@ -447,14 +450,15 @@ impl Flow {
         // old high-water mark is a retransmission.
         let mut sent = 0f64;
         while self.snd_nxt < self.write_limit && sent + 1.0 <= self.cwnd {
-            let len = (self.write_limit - self.snd_nxt).min(self.cfg.mss as u64) as u32;
+            let len = u32::try_from((self.write_limit - self.snd_nxt).min(u64::from(self.cfg.mss)))
+                .expect("invariant: min-clamped by mss");
             out.push(FlowAction::SendData {
                 offset: self.snd_nxt,
                 len,
             });
             self.stats.segments_sent += 1;
             self.stats.segments_retransmitted += 1;
-            self.snd_nxt += len as u64;
+            self.snd_nxt += u64::from(len);
             sent += len as f64;
         }
     }
@@ -477,7 +481,8 @@ impl Flow {
 
     /// Retransmit the first unacknowledged segment.
     fn retransmit_head(&mut self, out: &mut Vec<FlowAction>) {
-        let len = (self.write_limit - self.snd_una).min(self.cfg.mss as u64) as u32;
+        let len = u32::try_from((self.write_limit - self.snd_una).min(u64::from(self.cfg.mss)))
+            .expect("invariant: min-clamped by mss");
         if len == 0 {
             return;
         }

@@ -91,6 +91,7 @@ impl SimDuration {
         if !secs.is_finite() || secs <= 0.0 {
             return SimDuration(0);
         }
+        // lint: allow(cast) — f64 -> u64 saturates by design (input clamped non-negative above)
         SimDuration((secs * NANOS_PER_SEC as f64).round() as u64)
     }
 
@@ -123,9 +124,12 @@ impl SimDuration {
         if rate_bps == 0 {
             return SimDuration(u64::MAX / 4);
         }
-        let bits = bytes as u128 * 8;
-        let nanos = (bits * NANOS_PER_SEC as u128).div_ceil(rate_bps as u128);
-        SimDuration(nanos.min(u64::MAX as u128 / 4) as u64)
+        let bits = u128::from(bytes) * 8;
+        let nanos = (bits * u128::from(NANOS_PER_SEC)).div_ceil(u128::from(rate_bps));
+        SimDuration(
+            u64::try_from(nanos.min(u128::from(u64::MAX) / 4))
+                .expect("invariant: min-clamped below u64::MAX"),
+        )
     }
 }
 

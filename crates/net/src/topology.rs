@@ -5,6 +5,7 @@
 //! with per-destination BFS next-hop tables; ties break on the smaller
 //! link id so routes are deterministic.
 
+use crate::ids::Ident;
 use crate::link::LinkConfig;
 use crate::packet::{LinkId, NodeId};
 use std::collections::VecDeque;
@@ -49,7 +50,7 @@ impl TopologyBuilder {
     pub fn link(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) -> LinkId {
         assert!(from.0 < self.nodes && to.0 < self.nodes, "unknown node");
         assert_ne!(from, to, "self-links are not allowed");
-        let id = LinkId(self.edges.len() as u32);
+        let id = LinkId::from_index(self.edges.len());
         self.edges.push(Edge { from, to, cfg });
         id
     }
@@ -75,11 +76,11 @@ impl TopologyBuilder {
     /// application later turns out unreachable — unreachable pairs are
     /// permitted here and only fail if a flow is opened across one.
     pub fn build(self) -> Topology {
-        let n = self.nodes as usize;
+        let n = usize::try_from(self.nodes).expect("invariant: u32 node count fits usize");
         // adjacency: per node, outgoing (link, to) sorted by link id.
         let mut adj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); n];
         for (i, e) in self.edges.iter().enumerate() {
-            adj[e.from.0 as usize].push((LinkId(i as u32), e.to));
+            adj[e.from.index()].push((LinkId::from_index(i), e.to));
         }
         // next_hop[src * n + dst] = first link on a shortest path.
         let mut next_hop = vec![None; n * n];
@@ -92,7 +93,7 @@ impl TopologyBuilder {
             q.push_back(src);
             while let Some(u) = q.pop_front() {
                 for &(lid, v) in &adj[u] {
-                    let v = v.0 as usize;
+                    let v = v.index();
                     if dist[v] == u32::MAX {
                         dist[v] = dist[u] + 1;
                         first_link[v] = if u == src { Some(lid) } else { first_link[u] };
@@ -121,9 +122,9 @@ impl TopologyBuilder {
                     let Some(lid) = next_hop[at * n + dst] else {
                         break;
                     };
-                    let e = &self.edges[lid.0 as usize];
+                    let e = &self.edges[lid.index()];
                     d += e.cfg.delay;
-                    at = e.to.0 as usize;
+                    at = e.to.index();
                 }
                 if at == dst {
                     path_delays[src * n + dst] = Some(d);
@@ -160,6 +161,12 @@ impl Topology {
         self.node_count
     }
 
+    /// Node count as a vec-index bound.
+    pub fn node_slots(&self) -> usize {
+        // lint: allow(cast) — u32 -> usize widening on 64-bit targets
+        self.node_count as usize
+    }
+
     /// All directed edges, indexed by `LinkId`.
     pub fn edges(&self) -> &[Edge] {
         &self.edges
@@ -168,7 +175,7 @@ impl Topology {
     /// The outgoing link `at` should use to forward toward `dst`.
     #[inline]
     pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.next_hop[at.0 as usize * self.node_count as usize + dst.0 as usize]
+        self.next_hop[at.index() * self.node_slots() + dst.index()]
     }
 
     /// Whether `dst` is reachable from `src`.
@@ -184,8 +191,8 @@ impl Topology {
         while at != dst {
             let lid = self.next_hop(at, dst)?;
             links.push(lid);
-            at = self.edges[lid.0 as usize].to;
-            if links.len() > self.node_count as usize {
+            at = self.edges[lid.index()].to;
+            if links.len() > self.node_slots() {
                 return None; // routing loop; cannot happen with BFS tables
             }
         }
@@ -195,11 +202,11 @@ impl Topology {
     /// Sum of propagation delays along `src -> dst` (excludes transmission
     /// and queueing time).
     pub fn path_delay(&self, src: NodeId, dst: NodeId) -> Option<crate::time::SimDuration> {
-        let n = self.node_count as usize;
+        let n = self.node_slots();
         if src == dst {
             return Some(crate::time::SimDuration::ZERO);
         }
-        self.path_delays[src.0 as usize * n + dst.0 as usize]
+        self.path_delays[src.index() * n + dst.index()]
     }
 }
 
@@ -221,7 +228,11 @@ mod tests {
         let t = b.build();
         assert_eq!(t.next_hop(a, c), Some(up));
         assert_eq!(t.next_hop(c, a), Some(down));
-        assert_eq!(t.path(a, c).unwrap(), vec![up]);
+        assert_eq!(
+            t.path(a, c)
+                .expect("invariant: star topology connects all leaves"),
+            vec![up]
+        );
     }
 
     #[test]
@@ -234,7 +245,9 @@ mod tests {
         }
         let t = b.build();
         // Leaf to leaf goes through the hub: two hops.
-        let p = t.path(leaves[0], leaves[4]).unwrap();
+        let p = t
+            .path(leaves[0], leaves[4])
+            .expect("invariant: star topology connects all leaves");
         assert_eq!(p.len(), 2);
         assert_eq!(
             t.path_delay(leaves[0], leaves[4]),
@@ -270,7 +283,11 @@ mod tests {
         b.link(m2, z, cfg());
         let direct = b.link(a, z, cfg());
         let t = b.build();
-        assert_eq!(t.path(a, z).unwrap(), vec![direct]);
+        assert_eq!(
+            t.path(a, z)
+                .expect("invariant: a and z are directly linked"),
+            vec![direct]
+        );
     }
 
     #[test]
@@ -305,7 +322,17 @@ mod tests {
         let c1 = b.node();
         b.duplex(c1, gw, cfg());
         let t = b.build();
-        assert_eq!(t.path(c1, thinner).unwrap().len(), 3);
-        assert_eq!(t.path(thinner, c1).unwrap().len(), 3);
+        assert_eq!(
+            t.path(c1, thinner)
+                .expect("invariant: client reaches thinner via hub")
+                .len(),
+            3
+        );
+        assert_eq!(
+            t.path(thinner, c1)
+                .expect("invariant: thinner reaches client via hub")
+                .len(),
+            3
+        );
     }
 }

@@ -71,6 +71,7 @@ impl Samples {
             self.sorted = true;
         }
         let n = self.values.len();
+        // lint: allow(cast) — percentile rank in [0, n] by construction, clamped next line
         let rank = ((p / 100.0) * n as f64).ceil() as usize;
         self.values[rank.clamp(1, n) - 1]
     }
@@ -111,7 +112,8 @@ impl TimeSeries {
 
     /// Add `value` to the bucket containing `at`.
     pub fn add(&mut self, at: SimTime, value: f64) {
-        let idx = (at.as_nanos() / self.bucket.as_nanos()) as usize;
+        let idx = usize::try_from(at.as_nanos() / self.bucket.as_nanos())
+            .expect("invariant: bucket index fits usize");
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0.0);
         }
