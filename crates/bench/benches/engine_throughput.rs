@@ -45,13 +45,21 @@
 //! `--quick` (the CI profile) runs one timed iteration per measurement
 //! and shorter simulated runs.
 //!
-//! The JSON also carries two frozen baselines so the speedups each PR
+//! * **Replicated thinners** (schema v4): fig2 with the auction split
+//!   over 4 replicas (`--thinners 4`, 10 ms digest cadence) on 4
+//!   shards — events/sec with the digest traffic included, plus the
+//!   shard-0 event share the replication exists to shrink (asserted
+//!   under 10%, vs ~25% with the single thinner).
+//!
+//! The JSON also carries frozen baselines so the speedups each PR
 //! claims stay auditable from the emitted document alone:
-//! [`PRE_PR_FIG2_EVENTS_PER_SEC`] (the pre-wheel engine) and the
+//! [`PRE_PR_FIG2_EVENTS_PER_SEC`] (the pre-wheel engine), the
 //! [`PR4_FIG2_EVENTS_PER_SEC`] family (the wheel engine before the
-//! devirtualized-dispatch / allocation-free-loop work). Neither can be
-//! re-measured here — the current engine is the only one the scenarios
-//! run through — so the constants pin the history.
+//! devirtualized-dispatch / allocation-free-loop work), and so on up
+//! to the [`PR8_FIG2_EVENTS_PER_SEC`] family (the engine just before
+//! the replicated-thinner work). None can be re-measured here — the
+//! current engine is the only one the scenarios run through — so the
+//! constants pin the history.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -136,6 +144,20 @@ const PR6_FIG7_EVENTS_PER_SEC: f64 = 8_169_609.0;
 /// PR 6's hot-path replay rate (wheel + slab side), full profile.
 const PR6_REPLAY_EVENTS_PER_SEC: f64 = 11_026_723.0;
 
+/// The engine as of PR 8 (commit 91c25d1): flyweight cohorts, recycled
+/// cross-shard buffers, repacked wheel entries — the last single-thinner
+/// engine before the replicated-thinner work. Frozen from the
+/// `BENCH_engine.json` that PR committed (full profile, same 1-core
+/// host, same ±15% spread caveat) so the replicated engine's zero-cost
+/// claim at `--thinners 1` stays auditable from the document alone.
+const PR8_FIG2_EVENTS_PER_SEC: f64 = 6_669_491.0;
+/// See [`PR8_FIG2_EVENTS_PER_SEC`].
+const PR8_FIG7_EVENTS_PER_SEC: f64 = 8_718_979.0;
+/// PR 8's hot-path replay rate (wheel + slab side), full profile.
+const PR8_REPLAY_EVENTS_PER_SEC: f64 = 12_374_843.0;
+/// PR 8's fig2_xl crowd-scaling rate, full profile.
+const PR8_XL_EVENTS_PER_SEC: f64 = 2_436_624.0;
+
 /// Ceiling on `fig2_xl`'s peak RSS, enforced at measurement time (and
 /// re-checked against the committed document by `validate_baseline`).
 /// The flyweight-cohort population keeps 10^5 clients well under half
@@ -144,7 +166,7 @@ const PR6_REPLAY_EVENTS_PER_SEC: f64 = 11_026_723.0;
 /// (which would cost an order of magnitude more).
 const XL_PEAK_RSS_CEILING_BYTES: u64 = 8 << 30;
 
-use speakup_exp::runner::run;
+use speakup_exp::runner::{run, run_sharded};
 use speakup_exp::scenario::Mode;
 use speakup_exp::scenarios;
 use speakup_net::event::{reference::HeapQueue, EventHandle, EventQueue};
@@ -536,6 +558,34 @@ fn main() {
         xl_rss >> 20
     );
 
+    // ---- replicated thinners: fig2 with the auction split 4 ways ----
+    // The single thinner was the last serial component (~25% of all
+    // events pinned to its shard); with R = 4 replicas exchanging bid
+    // digests every 10 ms, shard 0 keeps only its replica's slice. The
+    // measured events/sec includes the digest control traffic, so this
+    // row is the throughput price of replication, and the shard-0 share
+    // beside it is what replication buys.
+    let rep_shards = 4u32;
+    let mut rep = scenarios::fig2(0.5, Mode::Auction)
+        .thinners(4)
+        .sync_period(SimDuration::from_millis(10));
+    rep.duration = SimDuration::from_secs(sim_secs);
+    let (rep_wall, rep_report) = best_of(iters, || run_sharded(&rep, rep_shards));
+    let rep_events: u64 = rep_report.shard_events.iter().sum();
+    let rep_eps = rep_events as f64 / rep_wall;
+    let rep_share =
+        rep_report.shard_events.first().copied().unwrap_or(0) as f64 / rep_events.max(1) as f64;
+    assert!(
+        rep_share < 0.10,
+        "fig2 with 4 thinner replicas still concentrates {rep_share:.3} of all \
+         events on shard 0 — replica placement regressed"
+    );
+    println!(
+        "engine_throughput/fig2_replicated: thinners=4 shards={rep_shards} \
+         {rep_events} events in {rep_wall:.3}s = {rep_eps:.0} events/sec, \
+         shard0_share={rep_share:.3}"
+    );
+
     // ---- hot-path replay: wheel + slab vs pre-PR heap + BTreeMap ----
     let steps = if quick { 1_000_000 } else { 4_000_000 };
     let ops = fig2_shaped_schedule(1_000, steps);
@@ -565,7 +615,7 @@ fn main() {
 
     // ---- BENCH_engine.json at the workspace root ----
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"speakup-bench-engine/3\",\n");
+    json.push_str("{\n  \"schema\": \"speakup-bench-engine/4\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,
@@ -636,6 +686,21 @@ fn main() {
         ratio(e2e("fig2"), PR6_FIG2_EVENTS_PER_SEC),
         ratio(e2e("fig7"), PR6_FIG7_EVENTS_PER_SEC),
         ratio(Some(new_rate), PR6_REPLAY_EVENTS_PER_SEC)
+    );
+    let _ = writeln!(
+        json,
+        "  \"pr8_engine\": {{\"measured_at\": \"commit 91c25d1, full profile\", \"delta\": \"this PR: replicated thinners (--thinners R) with epoch bid-digest sync over in-sim control packets; --thinners 1 is byte-identical, so any fig2/fig7 delta vs this block is noise or digest-path overhead\", \"fig2_events_per_sec\": {PR8_FIG2_EVENTS_PER_SEC:.0}, \"fig7_events_per_sec\": {PR8_FIG7_EVENTS_PER_SEC:.0}, \"hot_path_replay_events_per_sec\": {PR8_REPLAY_EVENTS_PER_SEC:.0}, \"fig2_xl_events_per_sec\": {PR8_XL_EVENTS_PER_SEC:.0}, \"fig2_end_to_end_speedup\": {}, \"fig7_end_to_end_speedup\": {}, \"replay_speedup\": {}, \"fig2_xl_speedup\": {}}},",
+        ratio(e2e("fig2"), PR8_FIG2_EVENTS_PER_SEC),
+        ratio(e2e("fig7"), PR8_FIG7_EVENTS_PER_SEC),
+        ratio(Some(new_rate), PR8_REPLAY_EVENTS_PER_SEC),
+        ratio(Some(xl_eps), PR8_XL_EVENTS_PER_SEC)
+    );
+    // Schema v4: the replicated-thinner row. `shard0_event_share` is
+    // the acceptance metric (the old single-thinner engine pinned ~25%
+    // of fig2's events to the thinner's shard; the bar here is 10%).
+    let _ = writeln!(
+        json,
+        "  \"replicated_thinners\": {{\"scenario\": \"fig2 f=0.5\", \"thinners\": 4, \"sync_period_ms\": 10, \"shards\": {rep_shards}, \"sim_secs\": {sim_secs}, \"events\": {rep_events}, \"events_per_sec\": {rep_eps:.0}, \"shard0_event_share\": {rep_share:.4}}},"
     );
     let _ = writeln!(
         json,

@@ -9,6 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use speakup_core::client::ClientProfile;
 use speakup_exp::runner::{run, run_sharded};
 use speakup_exp::scenario::{ClientSpec, Mode, Scenario};
+use speakup_exp::scenarios;
 use speakup_net::time::SimDuration;
 use std::hint::black_box;
 
@@ -42,6 +43,30 @@ fn bench_shard_scaling(c: &mut Criterion) {
         assert!(
             shards == 1 || share < 0.5,
             "shard 0 regressed to the pre-split-hub bottleneck: {share:.3} of all events"
+        );
+    }
+    // Replicated thinners: the single thinner was the last serial
+    // component (~25% of all events on shard 0 after the split-hub
+    // work). With R = 4 replicas, each placed on the shard holding the
+    // plurality of its clients, shard 0 keeps only its own replica's
+    // slice — the acceptance bar is under 10% of all events.
+    let replicated = scenarios::fig2(0.5, Mode::Auction)
+        .duration(SimDuration::from_secs(5))
+        .thinners(4)
+        .sync_period(SimDuration::from_millis(10));
+    for shards in [4u32, 8] {
+        let r = run_sharded(&replicated, shards);
+        let total: u64 = r.shard_events.iter().sum();
+        let share = r.shard_events.first().copied().unwrap_or(0) as f64 / total.max(1) as f64;
+        println!(
+            "shard_scaling/replicated: fig2 thinners=4 shards={shards} \
+             shard0_share={share:.3} events={:?}",
+            r.shard_events
+        );
+        assert!(
+            share < 0.10,
+            "fig2 with 4 thinner replicas still concentrates {share:.3} of all \
+             events on shard 0 — replica placement regressed"
         );
     }
     let mut g = c.benchmark_group("shard_scaling");

@@ -48,7 +48,7 @@ fn committed_baseline_is_full_profile() {
     let doc = load();
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("speakup-bench-engine/3"),
+        Some("speakup-bench-engine/4"),
         "unexpected schema"
     );
     // Quick-profile output goes to BENCH_engine.quick.json; a quick run
@@ -68,7 +68,12 @@ fn end_to_end_speedups_rederive_from_raw_fields() {
             .get("events_per_sec")
             .and_then(Json::as_f64)
             .expect("workload events_per_sec");
-        for section in ["pre_pr_heap_engine", "pr4_wheel_engine", "pr6_engine"] {
+        for section in [
+            "pre_pr_heap_engine",
+            "pr4_wheel_engine",
+            "pr6_engine",
+            "pr8_engine",
+        ] {
             assert_ratio(
                 f(&doc, section, &format!("{wl}_end_to_end_speedup")),
                 current,
@@ -89,7 +94,7 @@ fn replay_speedups_rederive_from_raw_fields() {
         f(&doc, "hot_path_replay", "heap_btreemap_events_per_sec"),
         "hot_path_replay.speedup",
     );
-    for section in ["pr4_wheel_engine", "pr6_engine"] {
+    for section in ["pr4_wheel_engine", "pr6_engine", "pr8_engine"] {
         assert_ratio(
             f(&doc, section, "replay_speedup"),
             wheel,
@@ -97,6 +102,12 @@ fn replay_speedups_rederive_from_raw_fields() {
             &format!("{section}.replay_speedup"),
         );
     }
+    assert_ratio(
+        f(&doc, "pr8_engine", "fig2_xl_speedup"),
+        f(&doc, "fig2_xl", "events_per_sec"),
+        f(&doc, "pr8_engine", "fig2_xl_events_per_sec"),
+        "pr8_engine.fig2_xl_speedup",
+    );
 }
 
 /// Schema v3's crowd-scaling baseline must carry a real measurement:
@@ -133,6 +144,24 @@ fn fig2_xl_baseline_is_sound() {
     assert!(
         count("client") > 0,
         "fig2_xl dispatched no foreground-client events"
+    );
+}
+
+/// Schema v4's replicated-thinner row must carry a real measurement and
+/// must witness the acceptance claim: fig2 at `--thinners 4` leaves
+/// shard 0 with under 10% of all events (the single-thinner engine
+/// pinned ~25% there).
+#[test]
+fn replicated_thinner_baseline_is_sound() {
+    let doc = load();
+    assert_eq!(f(&doc, "replicated_thinners", "thinners") as u64, 4);
+    assert!(f(&doc, "replicated_thinners", "shards") >= 4.0);
+    assert!(f(&doc, "replicated_thinners", "events") > 0.0);
+    assert!(f(&doc, "replicated_thinners", "events_per_sec") > 0.0);
+    let share = f(&doc, "replicated_thinners", "shard0_event_share");
+    assert!(
+        (0.0..0.10).contains(&share),
+        "committed shard-0 share {share} is not under the 10% acceptance bar"
     );
 }
 

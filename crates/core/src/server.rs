@@ -80,6 +80,17 @@ impl EmulatedServer {
         self.capacity
     }
 
+    /// Re-rate the server to `capacity` requests/second. Affects only
+    /// future [`EmulatedServer::draw_work`] draws — work already in
+    /// flight keeps its drawn service time. Replicated thinners use
+    /// this to shift each replica's slice of the aggregate capacity as
+    /// merged bid digests move (the RNG stream is untouched, so the
+    /// jitter sequence stays deterministic).
+    pub fn set_capacity(&mut self, capacity: f64) {
+        assert!(capacity > 0.0, "capacity must be positive");
+        self.capacity = capacity;
+    }
+
     /// Whether a request is currently executing.
     pub fn is_busy(&self) -> bool {
         self.running.is_some()

@@ -31,6 +31,7 @@
 //! exceeds 4x the live-contender count (plus slack), which amortizes to
 //! O(1) per push.
 
+use super::digest::RemoteView;
 use super::FrontEnd;
 use crate::types::{Directive, RequestKey};
 use speakup_net::time::{SimDuration, SimTime};
@@ -139,6 +140,15 @@ pub struct AuctionFrontEnd {
     expiries: BinaryHeap<Reverse<Expiry>>,
     next_seq: u64,
     going_rate: u64,
+    /// This front end's replica id in a replicated deployment (the
+    /// final leg of the remote-bid tie-break). 0 when standalone.
+    replica: u32,
+    /// Aggregated peer state in a replicated deployment. `None` (the
+    /// default, and the only value single-thinner runs ever see) leaves
+    /// every admission path byte-identical to the standalone front end;
+    /// when set, free admissions and auction wins are additionally
+    /// gated on beating the view (see `set_remote`).
+    remote: Option<RemoteView>,
     /// Counters and price samples.
     pub stats: AuctionStats,
 }
@@ -154,7 +164,59 @@ impl AuctionFrontEnd {
             expiries: BinaryHeap::new(),
             next_seq: 0,
             going_rate: 0,
+            replica: 0,
+            remote: None,
             stats: AuctionStats::default(),
+        }
+    }
+
+    /// Set this front end's replica id (the final tie-break leg against
+    /// remote bids). Standalone front ends keep the default 0.
+    pub fn set_replica(&mut self, replica: u32) {
+        self.replica = replica;
+    }
+
+    /// Install (or clear) the aggregated peer view. With a view set,
+    /// free admission additionally requires every peer idle and
+    /// contender-free, and an auction defers while any peer is busy and
+    /// otherwise admits the local top bid only if it beats the best
+    /// peer bid under (paid desc, seq asc, replica asc) — the rules
+    /// that make R gated replicas with fresh views reproduce the
+    /// single-thinner admission sequence exactly (see
+    /// `crates/core/tests/bid_digest_props.rs`). With `None` (the
+    /// default) every code path is unchanged.
+    pub fn set_remote(&mut self, remote: Option<RemoteView>) {
+        self.remote = remote;
+    }
+
+    /// Whether a request currently occupies the server.
+    pub fn is_busy(&self) -> bool {
+        self.busy.is_some()
+    }
+
+    /// The current top live bid `(paid, seq)`, popping stale heap
+    /// snapshots on the way. `None` when no contender is registered.
+    pub fn top_bid(&mut self) -> Option<(u64, u64)> {
+        loop {
+            let top = *self.bids.peek()?;
+            if self.bid_is_current(&top) {
+                return Some((top.paid, top.seq));
+            }
+            self.bids.pop();
+        }
+    }
+
+    /// The next pending channel expiry, if any (digest building).
+    pub fn next_expiry_hint(&mut self) -> Option<SimTime> {
+        self.next_channel_expiry()
+    }
+
+    /// Hold an auction now if the server is idle (replicated thinners
+    /// call this after refreshing the remote view, since a peer's digest
+    /// can unblock a previously gated admission).
+    pub fn try_auction(&mut self, now: SimTime, out: &mut Vec<Directive>) {
+        if self.busy.is_none() {
+            self.hold_auction(now, out);
         }
     }
 
@@ -246,6 +308,19 @@ impl AuctionFrontEnd {
         let Some(winner) = winner else {
             return;
         };
+        if let Some(remote) = &self.remote {
+            if remote.busy {
+                // The gated deployment models one cluster-wide server:
+                // defer while any peer is serving.
+                return;
+            }
+            let c = self.contenders.get(&winner).expect("winner exists");
+            if !remote.local_wins(c.paid, c.seq, self.replica) {
+                // A peer holds a better bid: defer until a fresher view
+                // (or more local payment) says otherwise.
+                return;
+            }
+        }
         let c = self.contenders.remove(&winner).expect("winner exists");
         self.going_rate = c.paid;
         self.stats.auctions += 1;
@@ -274,7 +349,11 @@ impl FrontEnd for AuctionFrontEnd {
         if self.contenders.contains_key(&req) || self.busy == Some(req) {
             return; // duplicate
         }
-        if self.busy.is_none() && self.contenders.is_empty() {
+        let peers_clear = self
+            .remote
+            .as_ref()
+            .is_none_or(|r| !r.busy && r.contenders == 0);
+        if self.busy.is_none() && self.contenders.is_empty() && peers_clear {
             // Unloaded server: serve immediately, price zero.
             self.busy = Some(req);
             self.going_rate = 0;

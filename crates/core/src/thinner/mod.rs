@@ -24,12 +24,17 @@
 //! [`crate::types`].
 
 mod auction;
+mod digest;
 mod none;
 mod profile;
 mod quantum;
 mod retry;
 
 pub use auction::{AuctionConfig, AuctionFrontEnd, AuctionStats};
+pub use digest::{
+    merged_expiry_horizon, paid_bracket, BidDigest, DigestBoard, RemoteView, DIGEST_WORDS,
+    PAID_BRACKETS,
+};
 pub use none::{NoDefense, NoDefenseStats};
 pub use profile::{ProfileConfig, ProfileFrontEnd, ProfileStats};
 pub use quantum::{QuantumConfig, QuantumFrontEnd, QuantumStats};

@@ -76,6 +76,9 @@ impl AppSet for AppSlot {
     fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId) {
         each_variant!(self, a => a.on_flow_aborted(ctx, flow))
     }
+    fn on_control(&mut self, ctx: &mut Ctx, src: speakup_net::NodeId, payload: &[u64]) {
+        each_variant!(self, a => a.on_control(ctx, src, payload))
+    }
 
     fn as_any(&self) -> &dyn Any {
         match self {

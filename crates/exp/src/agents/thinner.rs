@@ -9,7 +9,7 @@
 use crate::tags::{pack, sizes, unpack, Kind};
 use speakup_core::metrics::Allocation;
 use speakup_core::server::EmulatedServer;
-use speakup_core::thinner::FrontEnd;
+use speakup_core::thinner::{BidDigest, DigestBoard, FrontEnd};
 use speakup_core::types::{ClientId, Directive, RequestKey};
 use speakup_net::packet::{FlowId, NodeId};
 use speakup_net::sim::{App, Ctx, TimerHandle};
@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 
 const TOKEN_SERVER_DONE: u64 = u64::MAX;
 const TOKEN_TICK: u64 = u64::MAX - 1;
+const TOKEN_SYNC: u64 = u64::MAX - 2;
 
 /// Where a request stands, thinner-side.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,6 +52,30 @@ struct Channel {
     /// Delivered-byte watermark already credited to the front end.
     seen: u64,
 }
+
+/// How one thinner replica participates in a replicated deployment
+/// (`--thinners R`). Absent on single-thinner runs — which therefore
+/// execute the exact pre-replication code path, byte for byte.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// This replica's id, `0..count`.
+    pub id: u32,
+    /// The other replicas' nodes (digest sync targets).
+    pub peers: Vec<NodeId>,
+    /// Epoch cadence: how often this replica publishes its digest.
+    pub sync_period: SimDuration,
+    /// The deployment's aggregate server capacity, req/s. Each epoch
+    /// the replica re-rates its own slice to its share of this.
+    pub total_capacity: f64,
+    /// Total replica count.
+    pub count: u32,
+}
+
+/// Smoothing mass (bytes) added to every replica's paid total when
+/// converting merged digests into capacity shares: before any payment
+/// flows, shares start at `1/R` and drift toward paid-proportional as
+/// real bytes dominate the constant.
+const SHARE_SMOOTHING_BYTES: f64 = 65_536.0;
 
 /// Measurements the thinner takes (the paper's Figs 2–5 feed from here).
 #[derive(Debug, Default)]
@@ -98,6 +123,15 @@ pub struct ThinnerAgent {
     /// [`ThinnerAgent::sync_delivered_channels`], which runs on every
     /// server completion and tick.
     flow_scratch: Vec<FlowId>,
+    /// Replication role, when part of a `--thinners R` deployment.
+    replica: Option<ReplicaConfig>,
+    /// This replica's own cumulative digest under construction.
+    digest: BidDigest,
+    /// Latest digest per replica (self included after each publish).
+    board: DigestBoard,
+    /// Next channel-expiry deadline last reported by the front end
+    /// (digest `expiry_horizon`; refreshed on every tick).
+    expiry_hint: Option<SimTime>,
     /// Collected measurements.
     pub metrics: ThinnerMetrics,
 }
@@ -131,8 +165,32 @@ impl ThinnerAgent {
             quantum,
             scratch: Vec::new(),
             flow_scratch: Vec::new(),
+            replica: None,
+            digest: BidDigest::new(0),
+            board: DigestBoard::new(),
+            expiry_hint: None,
             metrics: ThinnerMetrics::default(),
         }
+    }
+
+    /// Turn this thinner into one replica of a `--thinners R`
+    /// deployment: it will publish a [`BidDigest`] to `replica.peers`
+    /// every `replica.sync_period` and re-rate its server slice to its
+    /// merged-paid share of `replica.total_capacity`.
+    pub fn with_replica(mut self, replica: ReplicaConfig) -> Self {
+        self.digest = BidDigest::new(replica.id);
+        self.replica = Some(replica);
+        self
+    }
+
+    /// The latest digests this replica has merged (tests, diagnostics).
+    pub fn board(&self) -> &DigestBoard {
+        &self.board
+    }
+
+    /// This replica's sync epoch so far (0 when unreplicated).
+    pub fn sync_epoch(&self) -> u64 {
+        self.digest.epoch
     }
 
     /// Read access to the server (utilization, completion counts).
@@ -209,6 +267,7 @@ impl ThinnerAgent {
             ch.seen = delivered;
             *self.paid.entry(key).or_insert(0) += delta;
             self.metrics.payment_bytes_total += delta;
+            self.digest.note_payment(delta);
             let now = ctx.now();
             let fe_key = self.existing_fe_key(key);
             let mut out = std::mem::take(&mut self.scratch);
@@ -281,6 +340,7 @@ impl ThinnerAgent {
                 }
                 Directive::Drop(k) => {
                     self.metrics.drops += 1;
+                    self.digest.timeouts += 1;
                     self.cleanup_channel(ctx, k, false);
                     self.states.remove(&k);
                     self.paid.remove(&k);
@@ -321,6 +381,7 @@ impl ThinnerAgent {
         let info = self.info(k.client);
         let now = ctx.now();
         let finish = self.server.start_request(now, k, info.difficulty);
+        self.digest.admissions += 1;
         self.arm_server_timer(ctx, finish);
         self.states.insert(k, ReqState::OnServer);
         // Record the price this admission paid.
@@ -362,6 +423,7 @@ impl ThinnerAgent {
         let now = ctx.now();
         let mut out = std::mem::take(&mut self.scratch);
         let next = self.fe.on_tick(now, &mut out);
+        self.expiry_hint = next;
         self.execute_drain(ctx, &mut out);
         self.scratch = out;
         if let Some(h) = self.tick_timer.take() {
@@ -378,11 +440,61 @@ impl ThinnerAgent {
         let src = ctx.flow(flow).src;
         self.clients_by_node.get(&src).copied()
     }
+
+    /// Stamp the digest's live-auction snapshot, bump the epoch, and
+    /// ship it to every peer replica as a control payload (delivered at
+    /// path propagation delay, so determinism and the lookahead matrix
+    /// hold). The replica's own board merges it immediately.
+    fn publish_digest(&mut self, ctx: &mut Ctx) {
+        self.digest.epoch += 1;
+        self.digest.contenders = self
+            .states
+            .values()
+            .filter(|s| **s == ReqState::Contending)
+            .count() as u64;
+        self.digest.busy = self.server.is_busy();
+        self.digest.going_rate = self.fe.going_rate().unwrap_or(0);
+        self.digest.expiry_horizon = self.expiry_hint.map_or(u64::MAX, SimTime::as_nanos);
+        // The oracle-facing top-bid fields stay unset in the simulation:
+        // replicas coordinate through capacity shares, not a global
+        // admission gate (which would serialize them to ~c/R total).
+        self.digest.has_top = false;
+        let words = self.digest.encode().into_boxed_slice();
+        let peers = match &self.replica {
+            Some(cfg) => cfg.peers.clone(),
+            None => Vec::new(),
+        };
+        for peer in peers {
+            ctx.send_control(peer, words.clone());
+        }
+        self.board.merge(self.digest);
+    }
+
+    /// Re-rate this replica's server slice to its share of the
+    /// aggregate capacity, proportional to merged cumulative paid bytes
+    /// (with smoothing so pre-payment epochs stay at `1/R`). This is
+    /// the paper's DNS-round-robin deployment made adaptive: a replica
+    /// whose clients deliver more payment bandwidth serves a matching
+    /// share of the server, so the going rate equalizes across
+    /// replicas as sync staleness allows.
+    fn rebalance_capacity(&mut self) {
+        let Some(cfg) = &self.replica else {
+            return;
+        };
+        let total = self.board.total_paid() as f64;
+        let mine = self.board.paid_of(cfg.id) as f64;
+        let n = f64::from(cfg.count);
+        let share = (mine + SHARE_SMOOTHING_BYTES) / (total + SHARE_SMOOTHING_BYTES * n);
+        self.server.set_capacity(cfg.total_capacity * share);
+    }
 }
 
 impl App for ThinnerAgent {
     fn start(&mut self, ctx: &mut Ctx) {
         self.schedule_tick(ctx);
+        if let Some(cfg) = &self.replica {
+            ctx.set_timer(cfg.sync_period, TOKEN_SYNC);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx, flow: FlowId, tag: u64) {
@@ -433,6 +545,7 @@ impl App for ThinnerAgent {
                     return;
                 }
                 self.metrics.payment_bytes_total += sizes::RETRY;
+                self.digest.note_payment(sizes::RETRY);
                 *self.paid.entry(key).or_insert(0) += sizes::RETRY;
                 let fe_key = self.existing_fe_key(key);
                 self.call_fe(ctx, |fe, now, out| {
@@ -482,6 +595,17 @@ impl App for ThinnerAgent {
                 self.sync_delivered_channels(ctx);
                 self.schedule_tick(ctx);
             }
+            TOKEN_SYNC => {
+                // Epoch boundary: credit any fresh payment bytes first
+                // so the published digest is current, then publish,
+                // re-rate, and re-arm.
+                self.sync_delivered_channels(ctx);
+                self.publish_digest(ctx);
+                self.rebalance_capacity();
+                if let Some(cfg) = &self.replica {
+                    ctx.set_timer(cfg.sync_period, TOKEN_SYNC);
+                }
+            }
             _ => unreachable!("unknown thinner timer token"),
         }
     }
@@ -494,6 +618,15 @@ impl App for ThinnerAgent {
             self.channels.remove(&k);
             let fe_key = self.existing_fe_key(k);
             self.call_fe(ctx, |fe, now, out| fe.on_cancel(now, fe_key, out));
+        }
+    }
+
+    fn on_control(&mut self, _ctx: &mut Ctx, _src: NodeId, payload: &[u64]) {
+        // A peer replica's digest. Merge-by-epoch makes delivery order
+        // irrelevant; the capacity share follows the freshened board.
+        if let Some(d) = BidDigest::decode(payload) {
+            self.board.merge(d);
+            self.rebalance_capacity();
         }
     }
 }

@@ -46,6 +46,9 @@ fn tolerance_for(path: &str) -> Option<(f64, f64)> {
         // Host wall-clock measurements (§7.1 payment sink) are not
         // reproducible across machines.
         ("measured_mbps", None),
+        // Replica fairness divergence: an absolute band around zero (the
+        // generic catch-all's ±0.5 would vacuously pass a share delta).
+        ("delta_vs_r1", Some((0.0, 0.02))),
         // Spreads and tail statistics drift hardest under small changes.
         ("stddev", Some((0.25, 1e-6))),
         ("p90", Some((0.10, 1e-6))),
@@ -188,6 +191,27 @@ pub fn options_of(golden: &Json) -> Result<(&'static registry::Entry, RunOptions
         .filter(|&k| k >= 1)
         .ok_or("golden file needs \"seeds\" >= 1")?
         .min(u32::MAX as u64) as u32;
+    // Replica overrides are optional header fields (absent on goldens
+    // produced without `--thinners` / `--sync-period`); when present the
+    // re-run must apply them or every run diverges from the golden.
+    let thinners = match golden.get("thinners_override") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .filter(|&t| (1..=u32::MAX as u64).contains(&t))
+                .ok_or("golden file's \"thinners_override\" must be a positive integer")?
+                as u32,
+        ),
+    };
+    let sync_period = match golden.get("sync_period_override_ms") {
+        None => None,
+        Some(v) => Some(SimDuration::from_nanos(
+            v.as_u64()
+                .filter(|&ms| ms >= 1 && ms.checked_mul(1_000_000).is_some())
+                .ok_or("golden file's \"sync_period_override_ms\" must be a positive integer")?
+                * 1_000_000,
+        )),
+    };
     Ok((
         entry,
         RunOptions {
@@ -196,8 +220,53 @@ pub fn options_of(golden: &Json) -> Result<(&'static registry::Entry, RunOptions
             seeds,
             jobs: None,
             shards: 1,
+            thinners,
+            sync_period,
         },
     ))
+}
+
+/// The number of numeric leaves in `doc` that [`tolerance_for`] would
+/// actually check. A golden whose metrics are all missing (e.g. an
+/// empty `runs` array, or a document reduced to its header) would diff
+/// vacuously clean against *any* fresh run; [`compare_file`] rejects
+/// such files outright.
+pub fn checked_metric_count(doc: &Json) -> usize {
+    fn count(path: &str, v: &Json, out: &mut usize) {
+        if v.as_f64().is_some() {
+            if tolerance_for(path).is_some() {
+                *out += 1;
+            }
+            return;
+        }
+        match v {
+            Json::Arr(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    count(&format!("{path}[{i}]"), item, out);
+                }
+            }
+            Json::Obj(fields) => {
+                for (k, fv) in fields {
+                    let sub = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    count(&sub, fv, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Only measurement payloads count — header echoes (duration_s,
+    // base_seed, seeds) are inputs, not results.
+    let mut n = 0;
+    for payload in ["runs", "analysis", "fairness"] {
+        if let Some(v) = doc.get(payload) {
+            count(payload, v, &mut n);
+        }
+    }
+    n
 }
 
 /// Load `path`, re-run its experiment, and report the diff on `out`.
@@ -211,14 +280,32 @@ pub fn compare_file(
     progress: &mut dyn Write,
 ) -> std::io::Result<bool> {
     let text = std::fs::read_to_string(path)?;
-    let golden = Json::parse(&text).map_err(|e| {
+    let mut golden = Json::parse(&text).map_err(|e| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             format!("{path}: not valid JSON: {e}"),
         )
     })?;
+    // `speakup run --json` appends a host-dependent `perf` section
+    // (wall-clock rates) after the deterministic payload; the re-run
+    // below rebuilds only the payload, so a golden saved straight from
+    // the CLI would otherwise always breach on the extra field.
+    if let Json::Obj(fields) = &mut golden {
+        fields.retain(|(k, _)| k != "perf");
+    }
     let (entry, mut opts) =
         options_of(&golden).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    if checked_metric_count(&golden) == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{path}: golden has no checked metrics (empty or header-only \
+                 \"runs\"); it would compare clean against anything — \
+                 regenerate it with `speakup run {} --json`",
+                entry.name
+            ),
+        ));
+    }
     opts.jobs = jobs;
     opts.shards = shards;
     writeln!(
@@ -351,5 +438,108 @@ mod tests {
             let err = options_of(&doc).err().expect("zero duration accepted");
             assert!(err.contains("positive"), "got: {err}");
         }
+    }
+
+    #[test]
+    fn replica_overrides_round_trip_from_golden_header() {
+        let golden = Json::obj()
+            .field("experiment", "fig2")
+            .field("duration_s", 10.0)
+            .field("base_seed", 0x5ea4u64)
+            .field("seeds", 1u32)
+            .field("thinners_override", 4u64)
+            .field("sync_period_override_ms", 10u64);
+        let (_, opts) = options_of(&golden).expect("valid header");
+        assert_eq!(opts.thinners, Some(4));
+        assert_eq!(opts.sync_period, Some(SimDuration::from_millis(10)));
+        // Absent overrides stay unset (the classic header shape).
+        let plain = Json::obj()
+            .field("experiment", "fig2")
+            .field("duration_s", 10.0)
+            .field("base_seed", 1u64)
+            .field("seeds", 1u32);
+        let (_, opts) = options_of(&plain).expect("valid header");
+        assert_eq!(opts.thinners, None);
+        assert_eq!(opts.sync_period, None);
+        // Corrupt overrides error instead of silently re-running the
+        // wrong configuration against the golden.
+        for (k, v) in [
+            ("thinners_override", 0u64),
+            ("sync_period_override_ms", 0u64),
+            ("thinners_override", u64::from(u32::MAX) + 1),
+            ("sync_period_override_ms", u64::MAX / 2),
+        ] {
+            let doc = Json::obj()
+                .field("experiment", "fig2")
+                .field("duration_s", 10.0)
+                .field("base_seed", 1u64)
+                .field("seeds", 1u32)
+                .field(k, v);
+            let err = options_of(&doc).err().unwrap_or_else(|| {
+                panic!("corrupt {k} = {v} accepted");
+            });
+            assert!(err.contains(k), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn checked_metrics_count_only_payload_leaves() {
+        // Header echoes alone count for nothing...
+        let header_only = Json::obj()
+            .field("experiment", "fig2")
+            .field("duration_s", 10.0)
+            .field("base_seed", 1u64)
+            .field("seeds", 1u32);
+        assert_eq!(checked_metric_count(&header_only), 0);
+        // ...as does a structurally present but empty runs array...
+        let empty_runs = header_only.clone().field("runs", Vec::<Json>::new());
+        assert_eq!(checked_metric_count(&empty_runs), 0);
+        // ...or runs whose members carry only unchecked (wall-clock)
+        // numbers.
+        let perf_only = header_only.clone().field(
+            "runs",
+            vec![Json::obj().field("payment_sink", Json::obj().field("measured_mbps", 612.5))],
+        );
+        assert_eq!(checked_metric_count(&perf_only), 0);
+        // A real metric in any payload section counts.
+        let with_metric = header_only.clone().field(
+            "runs",
+            vec![Json::obj().field("allocation", Json::obj().field("good", 140u64))],
+        );
+        assert_eq!(checked_metric_count(&with_metric), 1);
+        let with_fairness = header_only.field("fairness", Json::obj().field("band", 0.05));
+        assert_eq!(checked_metric_count(&with_fairness), 1);
+    }
+
+    #[test]
+    fn compare_rejects_a_golden_with_no_checked_metrics() {
+        // A golden reduced to its header (e.g. a bad merge or a
+        // truncated regeneration) must be a hard error: it would diff
+        // clean against any fresh run and rot silently. The check runs
+        // before the re-run, so this test never executes a simulation.
+        let doc = Json::obj()
+            .field("experiment", "fig2")
+            .field("duration_s", 10.0)
+            .field("base_seed", 0x5ea4u64)
+            .field("seeds", 1u32)
+            .field("runs", Vec::<Json>::new());
+        let path = std::env::temp_dir().join("speakup_empty_golden_test.json");
+        std::fs::write(&path, doc.pretty()).expect("write temp golden");
+        let mut out = Vec::new();
+        let mut progress = Vec::new();
+        let err = compare_file(
+            path.to_str().expect("utf-8 temp path"),
+            1.0,
+            None,
+            1,
+            &mut out,
+            &mut progress,
+        )
+        .expect_err("header-only golden accepted");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("no checked metrics"), "got: {msg}");
+        assert!(msg.contains("regenerate"), "got: {msg}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -77,7 +77,8 @@ speakup — drive the paper's experiments from one binary
 USAGE:
     speakup list [--json]
     speakup run <name>... | all [--secs N] [--seed N] [--seeds K]
-                [--jobs N] [--shards K] [--json]
+                [--jobs N] [--shards K] [--thinners R] [--sync-period MS]
+                [--json]
     speakup compare <golden.json>... [--tol X] [--jobs N] [--shards K]
     speakup lint [--root <dir>] [--json]
     speakup help
@@ -92,6 +93,15 @@ OPTIONS (run):
     --shards K  shard event loops per run: the client population splits
                 across K synchronized loops (default 1). Reports are
                 byte-identical for every K; only wall-clock time changes.
+    --thinners R
+                override the thinner replica count of every auction-mode
+                grid point: the virtual auction runs on R replicas
+                exchanging epoch bid digests (default: the scenario's
+                own count, usually 1). Non-auction grid points keep
+                their single thinner.
+    --sync-period MS
+                override the replica digest-sync cadence, milliseconds
+                (only meaningful with more than one thinner)
     --json      print only the machine-readable JSON report
 
 OPTIONS (compare):
@@ -205,6 +215,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--shards" => {
                         opts.shards = parse_shards(rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--thinners" => {
+                        let n = flag_positive("--thinners", rest.get(i + 1))?;
+                        opts.thinners = Some(
+                            u32::try_from(n)
+                                .map_err(|_| format!("--thinners {n} does not fit in 32 bits"))?,
+                        );
+                        i += 2;
+                    }
+                    "--sync-period" => {
+                        let ms = flag_positive("--sync-period", rest.get(i + 1))?;
+                        let nanos = ms.checked_mul(1_000_000).ok_or_else(|| {
+                            format!("--sync-period {ms} does not fit the nanosecond clock")
+                        })?;
+                        opts.sync_period = Some(SimDuration::from_nanos(nanos));
                         i += 2;
                     }
                     "--json" => {
@@ -344,6 +370,18 @@ pub fn execute(entry: &'static Entry, opts: &RunOptions) -> EntryRun {
                     let mut replicate = sc.clone();
                     replicate.duration = duration;
                     replicate.seed = opts.seed + k as u64;
+                    // Replication coordinates through auction bid
+                    // digests, so the override only touches auction-mode
+                    // grid points; OFF/retry/profile points in the same
+                    // grid keep their single thinner.
+                    if let Some(r) = opts.thinners {
+                        if matches!(replicate.mode, crate::scenario::Mode::Auction) {
+                            replicate.thinners = r;
+                        }
+                    }
+                    if let Some(p) = opts.sync_period {
+                        replicate.sync_period = p;
+                    }
                     all.push(replicate);
                 }
             }
@@ -453,11 +491,19 @@ pub fn report_json(r: &RunReport) -> Json {
                 .field("behind_bottleneck", pc.behind_bottleneck)
         })
         .collect();
-    Json::obj()
+    let mut doc = Json::obj()
         .field("name", r.name.as_str())
         .field("mode", r.mode.as_str())
-        .field("seed", r.seed)
-        .field("duration_s", r.duration_s)
+        .field("seed", r.seed);
+    // Replication fields appear only for replicated runs, so
+    // single-thinner reports (and every committed pre-replica golden)
+    // stay byte-identical.
+    if r.thinners > 1 {
+        doc = doc
+            .field("thinners", r.thinners)
+            .field("sync_period_ms", r.sync_period.as_nanos() / 1_000_000);
+    }
+    doc.field("duration_s", r.duration_s)
         .field("good", class_json(&r.good))
         .field("bad", class_json(&r.bad))
         .field(
@@ -534,8 +580,47 @@ pub fn entry_json(run: &EntryRun, opts: &RunOptions) -> Json {
         .field("duration_s", opts.duration_for(run.entry).as_secs_f64())
         .field("base_seed", opts.seed)
         .field("seeds", run.seeds);
+    // Echo CLI replica overrides so `speakup compare` re-runs a golden
+    // produced with them under the same options. Absent (not 1/100ms)
+    // when unset, keeping pre-replica goldens byte-identical.
+    if let Some(t) = opts.thinners {
+        doc = doc.field("thinners_override", t);
+    }
+    if let Some(p) = opts.sync_period {
+        doc = doc.field("sync_period_override_ms", p.as_nanos() / 1_000_000);
+    }
     if let Some(extra) = &run.analytic_json {
         doc = doc.field("analysis", extra.clone());
+    }
+    // Replicated entries carry a fairness-divergence section: each grid
+    // point's good-client allocation against the R=1 baseline, plus the
+    // committed band the regression test enforces.
+    if run.reports.iter().any(|r| r.thinners > 1) {
+        let base_frac = run
+            .reports
+            .iter()
+            .find(|r| r.thinners == 1)
+            .map(|r| r.good_fraction())
+            .unwrap_or(0.0);
+        let divergence: Vec<Json> = run
+            .reports
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("name", r.name.as_str())
+                    .field("thinners", r.thinners)
+                    .field("sync_period_ms", r.sync_period.as_nanos() / 1_000_000)
+                    .field("good_fraction", r.good_fraction())
+                    .field("delta_vs_r1", r.good_fraction() - base_frac)
+            })
+            .collect();
+        doc = doc.field(
+            "fairness",
+            Json::obj()
+                .field("band", crate::registry::FAIRNESS_BAND)
+                .field("baseline_good_fraction", base_frac)
+                .field("divergence", Json::Arr(divergence)),
+        );
     }
     doc.field(
         "runs",
@@ -859,6 +944,75 @@ mod tests {
         }
         // The policy is documented where users will look for it.
         assert!(USAGE.contains("last-wins"));
+    }
+
+    #[test]
+    fn parses_replica_flags() {
+        match parse(&s(&[
+            "run",
+            "fig2_replicated",
+            "--thinners",
+            "4",
+            "--sync-period",
+            "25",
+        ]))
+        .unwrap()
+        {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.thinners, Some(4));
+                assert_eq!(opts.sync_period, Some(SimDuration::from_nanos(25_000_000)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: both absent means "use the scenario's own settings".
+        match parse(&s(&["run", "fig3"])).unwrap() {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.thinners, None);
+                assert_eq!(opts.sync_period, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Last-wins, like every other repeated flag.
+        match parse(&s(&[
+            "run",
+            "fig3",
+            "--thinners",
+            "2",
+            "--thinners",
+            "8",
+            "--sync-period",
+            "5",
+            "--sync-period",
+            "50",
+        ]))
+        .unwrap()
+        {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.thinners, Some(8));
+                assert_eq!(opts.sync_period, Some(SimDuration::from_nanos(50_000_000)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replica_flags_reject_zero_and_overflow() {
+        // Zero replicas / a zero-length epoch are meaningless.
+        assert!(parse(&s(&["run", "fig3", "--thinners", "0"])).is_err());
+        assert!(parse(&s(&["run", "fig3", "--sync-period", "0"])).is_err());
+        // Missing and non-numeric values fail like any other flag.
+        assert!(parse(&s(&["run", "fig3", "--thinners"])).is_err());
+        assert!(parse(&s(&["run", "fig3", "--sync-period", "soon"])).is_err());
+        // --thinners is u32; --sync-period milliseconds must survive the
+        // *1e6 conversion to nanoseconds. Both error instead of wrapping.
+        let huge = format!("{}", u64::MAX);
+        let err = parse(&s(&["run", "fig3", "--thinners", &huge])).unwrap_err();
+        assert!(err.contains("does not fit"), "got: {err}");
+        let err = parse(&s(&["run", "fig3", "--sync-period", &huge])).unwrap_err();
+        assert!(err.contains("does not fit"), "got: {err}");
+        // The largest representable sync period still parses.
+        let max_ms = u64::MAX / 1_000_000;
+        assert!(parse(&s(&["run", "fig3", "--sync-period", &format!("{max_ms}")])).is_ok());
     }
 
     #[test]

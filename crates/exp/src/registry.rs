@@ -35,6 +35,12 @@ pub struct RunOptions {
     pub jobs: Option<usize>,
     /// Shard event loops per run (split client populations).
     pub shards: u32,
+    /// Thinner replica override; `None` keeps each scenario's own count
+    /// (1 everywhere except the replicated entries).
+    pub thinners: Option<u32>,
+    /// Replica digest-sync cadence override; `None` keeps each
+    /// scenario's own period.
+    pub sync_period: Option<SimDuration>,
 }
 
 impl Default for RunOptions {
@@ -45,6 +51,8 @@ impl Default for RunOptions {
             seeds: 1,
             jobs: None,
             shards: 1,
+            thinners: None,
+            sync_period: None,
         }
     }
 }
@@ -114,7 +122,7 @@ pub fn find(name: &str) -> Option<&'static Entry> {
     REGISTRY.iter().find(|e| e.name == name)
 }
 
-static REGISTRY: [Entry; 14] = [
+static REGISTRY: [Entry; 15] = [
     Entry {
         name: "fig2",
         section: "§7.2, Figure 2",
@@ -142,6 +150,18 @@ static REGISTRY: [Entry; 14] = [
         kind: Kind::Sim {
             build: build_fig2_xl,
             render: render_fig2_xl,
+        },
+    },
+    Entry {
+        name: "fig2_replicated",
+        section: "§7.2 replicated",
+        title:
+            "replicated thinners: fig2's f=0.5 point with R auction replicas syncing bid digests",
+        default_secs: 60,
+        grid: "R=1 + R ∈ {2,4,8} × sync ∈ {10,100} ms",
+        kind: Kind::Sim {
+            build: build_fig2_replicated,
+            render: render_fig2_replicated,
         },
     },
     Entry {
@@ -339,6 +359,77 @@ fn render_fig2_xl(scens: &[Scenario], reps: &[Reps]) -> String {
                 "alloc good",
                 "ideal",
                 "good served"
+            ],
+            &rows
+        )
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Replicated thinners (fig2's f=0.5 point across replica counts)
+// ---------------------------------------------------------------------------
+
+/// Committed fairness band for the replicated-thinner entry: the
+/// good-client allocation share at any swept `R` must sit within this
+/// absolute distance of the `R = 1` baseline. Recorded in the golden
+/// (`fairness.band`) and enforced by the regression test in
+/// `tests/thinner_equivalence.rs`.
+pub const FAIRNESS_BAND: f64 = 0.05;
+
+const REPLICA_COUNTS: [u32; 3] = [2, 4, 8];
+const REPLICA_SYNC_MS: [u64; 2] = [10, 100];
+
+fn build_fig2_replicated() -> Vec<Scenario> {
+    let base = scenarios::fig2(0.5, Mode::Auction);
+    let mut baseline = base.clone();
+    baseline.name = "fig2_replicated R=1".to_string();
+    let mut scens = vec![baseline];
+    for &r in &REPLICA_COUNTS {
+        for &ms in &REPLICA_SYNC_MS {
+            let mut s = base
+                .clone()
+                .thinners(r)
+                .sync_period(SimDuration::from_millis(ms));
+            s.name = format!("fig2_replicated R={r} sync={ms}ms");
+            scens.push(s);
+        }
+    }
+    scens
+}
+
+fn render_fig2_replicated(scens: &[Scenario], reps: &[Reps]) -> String {
+    let base_alloc = reps[0].est(|r| r.good_fraction()).mean;
+    let mut rows = Vec::new();
+    for (sc, rp) in scens.iter().zip(reps) {
+        let alloc = rp.est(|r| r.good_fraction());
+        rows.push(vec![
+            format!("{}", sc.thinners),
+            if sc.thinners > 1 {
+                format!("{} ms", sc.sync_period.as_nanos() / 1_000_000)
+            } else {
+                "-".to_string()
+            },
+            frac_est(alloc),
+            format!("{:+.3}", alloc.mean - base_alloc),
+            frac_est(rp.est(|r| r.good_served_fraction())),
+            frac(0.5),
+        ]);
+    }
+    format!(
+        "\nReplicated thinners: fig2 f=0.5 under R auction replicas (c=100, band ±{FAIRNESS_BAND})\n{}\
+         expected: every R tracks the single thinner's allocation within the\n\
+         band — replicas see only their own contenders, but the epoch digest\n\
+         exchange re-rates each replica's capacity share toward the global\n\
+         paid-byte proportions, so the aggregate allocation barely moves.\n\
+         Staler syncs (100 ms vs 10 ms) may drift slightly further.\n",
+        table(
+            &[
+                "R",
+                "sync",
+                "alloc good",
+                "vs R=1",
+                "good served",
+                "ideal"
             ],
             &rows
         )
@@ -1076,6 +1167,8 @@ mod tests {
     fn grid_shapes_match_the_paper() {
         assert_eq!(find("fig2").unwrap().build_grid().len(), 10);
         assert_eq!(find("fig2_xl").unwrap().build_grid().len(), 1);
+        // R=1 baseline + {2,4,8} x {10,100} ms.
+        assert_eq!(find("fig2_replicated").unwrap().build_grid().len(), 7);
         assert_eq!(find("fig3").unwrap().build_grid().len(), 6);
         assert_eq!(find("fig6").unwrap().build_grid().len(), 1);
         assert_eq!(find("fig7").unwrap().build_grid().len(), 2);

@@ -165,6 +165,16 @@ pub struct Scenario {
     /// not the CLI, so the topology never depends on `--shards`; raise it
     /// when a host with more cores than the default cap shows up.
     pub hub_subgroups_per_class: usize,
+    /// Number of thinner replicas (default 1: the classic single
+    /// thinner). With R > 1, aggregation groups and cohorts are
+    /// partitioned round-robin across R replicas, each running the
+    /// virtual auction locally over its own contenders with a 1/R slice
+    /// of `capacity` that is continually re-rated from merged peer bid
+    /// digests (see `crates/core/src/thinner/digest.rs`).
+    pub thinners: u32,
+    /// Epoch cadence at which replicas exchange bid-delta digests
+    /// (default 100 ms). Only meaningful when `thinners > 1`.
+    pub sync_period: SimDuration,
 }
 
 impl Scenario {
@@ -182,6 +192,8 @@ impl Scenario {
             web: None,
             hub_link: LinkConfig::new(1_000_000_000, SimDuration::from_micros(100)),
             hub_subgroups_per_class: crate::runner::HUB_SUBGROUPS_PER_CLASS,
+            thinners: 1,
+            sync_period: SimDuration::from_millis(100),
         }
     }
 
@@ -223,6 +235,29 @@ impl Scenario {
     /// Set the seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the number of thinner replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero: a run needs at least one thinner.
+    pub fn thinners(mut self, r: u32) -> Self {
+        assert!(r >= 1, "at least one thinner replica");
+        self.thinners = r;
+        self
+    }
+
+    /// Set the replica digest-sync epoch cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero period: the sync timer would re-arm at the
+    /// current instant and spin the simulation forever.
+    pub fn sync_period(mut self, p: SimDuration) -> Self {
+        assert!(p.as_nanos() > 0, "sync period must be positive");
+        self.sync_period = p;
         self
     }
 

@@ -96,6 +96,12 @@ pub trait App: Any + Send {
     fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId) {
         let _ = (ctx, flow);
     }
+    /// A control payload sent with [`Ctx::send_control`] arrived from
+    /// `src`. Control payloads travel at path propagation delay outside
+    /// any flow — the lane replicated thinners sync bid digests over.
+    fn on_control(&mut self, ctx: &mut Ctx, src: NodeId, payload: &[u64]) {
+        let _ = (ctx, src, payload);
+    }
 }
 
 /// A family of applications the simulator dispatches to without virtual
@@ -124,6 +130,8 @@ pub trait AppSet: Send + 'static {
     fn on_flow_drained(&mut self, ctx: &mut Ctx, flow: FlowId);
     /// Forward of [`App::on_flow_aborted`].
     fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId);
+    /// Forward of [`App::on_control`].
+    fn on_control(&mut self, ctx: &mut Ctx, src: NodeId, payload: &[u64]);
     /// The wrapped application as `Any`, for downcasting.
     fn as_any(&self) -> &dyn Any;
     /// Mutable variant of [`AppSet::as_any`].
@@ -158,6 +166,9 @@ impl AppSet for Box<dyn App> {
     }
     fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId) {
         (**self).on_flow_aborted(ctx, flow)
+    }
+    fn on_control(&mut self, ctx: &mut Ctx, src: NodeId, payload: &[u64]) {
+        (**self).on_control(ctx, src, payload)
     }
     fn as_any(&self) -> &dyn Any {
         &**self as &dyn Any
@@ -215,6 +226,15 @@ fn lane_flow(f: FlowId) -> u64 {
 fn lane_ctl(f: FlowId) -> u64 {
     (3 << 32) | u64::from(f.0)
 }
+// Application control payloads get their own lane class, keyed by the
+// *source* node: replicated thinners all publish digests at the same
+// epoch instant, so one receiver sees same-time deliveries from many
+// senders — keying by source keeps each lane written by exactly one
+// shard (per-lane order shard-invariant) while the lane id orders the
+// cross-sender tie canonically.
+fn lane_app_ctl(src: NodeId) -> u64 {
+    (4 << 32) | u64::from(src.0)
+}
 
 /// Lazily re-armed retransmission timer for one flow (see the
 /// `rto_timers` field). Invariant while armed: some wheel sentinel is
@@ -268,6 +288,14 @@ enum Event {
         id: FlowId,
         at_receiver: bool,
     },
+    /// An application control payload ([`Ctx::send_control`]) reaching
+    /// `node` from `src`. Boxed: control sends are rare (epoch cadence)
+    /// and an inline payload would bloat every queued [`Event`].
+    AppControl {
+        node: NodeId,
+        src: NodeId,
+        payload: Box<[u64]>,
+    },
 }
 
 /// A cross-shard handoff: an event for another shard's queue, exchanged
@@ -297,6 +325,11 @@ enum Notify {
     Aborted {
         node: NodeId,
         flow: FlowId,
+    },
+    Control {
+        node: NodeId,
+        src: NodeId,
+        payload: Box<[u64]>,
     },
 }
 
@@ -335,10 +368,13 @@ pub struct World {
     /// deadline, so `on_rto` still runs at exactly the armed time.
     rto_timers: FlowSlab<RtoTimer>,
     /// Delivery-progress tracking for watched receiver flows (see
-    /// [`Ctx::watch_flow`]): the stored flag is the flow's dirty bit,
-    /// set when its in-order delivered byte count advances and cleared
-    /// by [`Ctx::drain_progress`].
-    watch_rx: FlowSlab<bool>,
+    /// [`Ctx::watch_flow`]): the watcher's node plus the flow's dirty
+    /// bit, set when its in-order delivered byte count advances and
+    /// cleared by the watcher's [`Ctx::drain_progress`]. Keying the
+    /// entry by watcher keeps drains node-local: two watchers sharing a
+    /// shard must not consume each other's progress, or co-located and
+    /// split placements of the same topology would diverge.
+    watch_rx: FlowSlab<(NodeId, bool)>,
     /// Watched flows that delivered new bytes since the last drain
     /// (each queued at most once — the dirty bit dedups).
     progress_rx: Vec<FlowId>,
@@ -781,6 +817,10 @@ impl World {
                 self.apply_flow_actions(id);
                 self.notifies.push_back(Notify::Aborted { node, flow: id });
             }
+            Event::AppControl { node, src, payload } => {
+                self.notifies
+                    .push_back(Notify::Control { node, src, payload });
+            }
         }
     }
 
@@ -797,7 +837,7 @@ impl World {
                 let before = f.delivered_bytes();
                 f.on_data(now, offset, len, &mut actions);
                 if f.delivered_bytes() > before {
-                    if let Some(dirty) = self.watch_rx.get_mut(fid) {
+                    if let Some((_, dirty)) = self.watch_rx.get_mut(fid) {
                         if !*dirty {
                             *dirty = true;
                             self.progress_rx.push(fid);
@@ -921,8 +961,10 @@ impl<'a> Ctx<'a> {
     /// [`Ctx::drain_progress`]. This lets an app that terminates many
     /// inbound channels credit exactly the flows that moved instead of
     /// polling every open channel — the poll made the thinner's
-    /// admission path O(population) at crowd scale. One watcher per
-    /// shard: all watched flows drain to whichever node asks.
+    /// admission path O(population) at crowd scale. Watches are
+    /// node-keyed: each watcher's drain sees exactly its own flows, so
+    /// two watchers (e.g. two thinner replicas) behave identically
+    /// whether they share a shard or not.
     pub fn watch_flow(&mut self, id: FlowId) {
         debug_assert!(
             self.world
@@ -931,7 +973,7 @@ impl<'a> Ctx<'a> {
                 .is_none_or(|f| f.dst == self.node),
             "watching a flow that terminates elsewhere"
         );
-        self.world.watch_rx.insert(id, false);
+        self.world.watch_rx.insert(id, (self.node, false));
     }
 
     /// Stop watching `id`. A still-queued dirty entry is skipped at
@@ -940,23 +982,60 @@ impl<'a> Ctx<'a> {
         self.world.watch_rx.take(id);
     }
 
-    /// Move every watched flow that delivered new bytes since the last
-    /// drain into `out`, clearing their dirty marks. Order follows the
-    /// first post-drain delivery of each flow.
+    /// Move every flow watched *by this node* that delivered new bytes
+    /// since the last drain into `out`, clearing their dirty marks.
+    /// Order follows the first post-drain delivery of each flow.
+    /// Entries watched by a co-located peer stay queued (in order) for
+    /// that peer's own drain; entries no longer watched by anyone are
+    /// discarded.
     pub fn drain_progress(&mut self, out: &mut Vec<FlowId>) {
-        for fid in self.world.progress_rx.drain(..) {
-            if let Some(dirty) = self.world.watch_rx.get_mut(fid) {
+        let node = self.node;
+        let World {
+            progress_rx,
+            watch_rx,
+            ..
+        } = &mut *self.world;
+        progress_rx.retain(|&fid| match watch_rx.get_mut(fid) {
+            Some((watcher, dirty)) if *watcher == node => {
                 if *dirty {
                     *dirty = false;
                     out.push(fid);
                 }
+                false
             }
-        }
+            Some(_) => true,
+            None => false,
+        });
     }
 
     /// Propagation delay of the route to `dst` (for informed apps/tests).
     pub fn path_delay(&self, dst: NodeId) -> Option<SimDuration> {
         self.world.topology.path_delay(self.node, dst)
+    }
+
+    /// Send an out-of-band control payload to the application on `dst`,
+    /// delivered via [`App::on_control`] one routed path propagation
+    /// delay from now. Control payloads ride the same delayed-record
+    /// machinery as flow control (at least the lookahead when the
+    /// route crosses shards, identical delay within one shard), so they
+    /// preserve byte-identical shard-count invariance — this is the
+    /// lane replicated thinners exchange bid digests over. Panics if
+    /// `dst` is unreachable or is this node.
+    pub fn send_control(&mut self, dst: NodeId, payload: Box<[u64]>) {
+        assert_ne!(dst, self.node, "control to self");
+        let at = self.world.now + self.world.ctl_delay(self.node, dst);
+        let to = self.world.shard_of(dst);
+        let src = self.node;
+        self.world.schedule(
+            at,
+            lane_app_ctl(src),
+            Event::AppControl {
+                node: dst,
+                src,
+                payload,
+            },
+            to,
+        );
     }
 }
 
@@ -1001,6 +1080,9 @@ impl<S: AppSet> Shard<S> {
                 }
                 Notify::Aborted { node, flow } => {
                     self.with_app(node, |a, ctx| a.on_flow_aborted(ctx, flow));
+                }
+                Notify::Control { node, src, payload } => {
+                    self.with_app(node, |a, ctx| a.on_control(ctx, src, &payload));
                 }
             }
         }
@@ -1985,6 +2067,204 @@ mod tests {
         let (t, _, _) = star(2);
         let single = Simulator::new(t, 1);
         assert_eq!(single.lookahead_between(0, 0), None);
+    }
+
+    // ------------------------------------------- app control payloads
+
+    /// Broadcasts a control payload to its peers at fixed times.
+    struct CtlSender {
+        peers: Vec<NodeId>,
+        payload: Vec<u64>,
+    }
+    impl App for CtlSender {
+        fn start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+            for &p in &self.peers {
+                ctx.send_control(p, self.payload.clone().into_boxed_slice());
+            }
+        }
+    }
+    /// Records control arrivals `(time, src, payload)`.
+    #[derive(Default)]
+    struct CtlReceiver {
+        got: Vec<(SimTime, NodeId, Vec<u64>)>,
+    }
+    impl App for CtlReceiver {
+        fn on_control(&mut self, ctx: &mut Ctx, src: NodeId, payload: &[u64]) {
+            self.got.push((ctx.now(), src, payload.to_vec()));
+        }
+    }
+
+    #[test]
+    fn control_payload_arrives_at_path_delay() {
+        let (t, a, z) = two_nodes(1_000_000, 5);
+        let mut sim = Simulator::new(t, 31);
+        sim.add_app(
+            a,
+            Box::new(CtlSender {
+                peers: vec![z],
+                payload: vec![7, 8, 9],
+            }),
+        );
+        sim.add_app(z, Box::new(CtlReceiver::default()));
+        sim.run_until(SimTime::from_secs(1));
+        let rx = sim
+            .app::<CtlReceiver>(z)
+            .expect("invariant: CtlReceiver installed on z");
+        assert_eq!(
+            rx.got,
+            vec![(SimTime::from_nanos(15_000_000), a, vec![7, 8, 9])]
+        );
+    }
+
+    #[test]
+    fn simultaneous_control_sends_are_shard_invariant() {
+        // Every leaf broadcasts to the hub at the same instant over
+        // equal-delay links, so all four payloads *arrive* at the same
+        // instant: the tie must order identically in every sharding
+        // (the source-keyed control lane provides the canonical order).
+        let equal_star = || {
+            let mut b = TopologyBuilder::new();
+            let hub = b.node();
+            let leaves: Vec<_> = (0..4)
+                .map(|_| {
+                    let n = b.node();
+                    b.duplex(
+                        n,
+                        hub,
+                        LinkConfig::new(2_000_000, SimDuration::from_millis(3)),
+                    );
+                    n
+                })
+                .collect();
+            (b.build(), hub, leaves)
+        };
+        let run = |assignment: Option<Vec<u32>>| {
+            let (t, hub, leaves) = equal_star();
+            let mut sim = match assignment {
+                None => Simulator::new(t, 13),
+                Some(asg) => Simulator::new_sharded(t, 13, asg),
+            };
+            for (i, &n) in leaves.iter().enumerate() {
+                sim.add_app(
+                    n,
+                    Box::new(CtlSender {
+                        peers: vec![hub],
+                        payload: vec![i as u64],
+                    }),
+                );
+            }
+            sim.add_app(hub, Box::new(CtlReceiver::default()));
+            sim.run_until(SimTime::from_secs(1));
+            sim.app::<CtlReceiver>(hub)
+                .expect("invariant: CtlReceiver installed on hub")
+                .got
+                .clone()
+        };
+        let single = run(None);
+        assert_eq!(single.len(), 4, "all payloads delivered");
+        assert_eq!(single, run(Some(vec![0, 1, 1, 2, 2])));
+        assert_eq!(single, run(Some(vec![0, 1, 2, 3, 4])));
+    }
+
+    /// Watches a peer's flow from the start and drains delivery
+    /// progress on a fixed timer cadence, logging what each drain saw.
+    struct ProgressWatcher {
+        watched: FlowId,
+        offset: SimDuration,
+        period: SimDuration,
+        log: Vec<(SimTime, u64)>,
+        scratch: Vec<FlowId>,
+    }
+
+    impl App for ProgressWatcher {
+        fn start(&mut self, ctx: &mut Ctx) {
+            ctx.watch_flow(self.watched);
+            ctx.set_timer(self.offset, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+            let mut out = std::mem::take(&mut self.scratch);
+            out.clear();
+            ctx.drain_progress(&mut out);
+            for &f in &out {
+                self.log.push((ctx.now(), ctx.flow(f).delivered_bytes()));
+            }
+            self.scratch = out;
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    #[test]
+    fn progress_drains_are_node_local_in_every_sharding() {
+        // Two disjoint sender -> watcher pairs whose drain timers are
+        // offset by 1 ms. Watches are node-keyed, so a watcher's drain
+        // must see exactly its own flow's progress whether the two
+        // watchers share a shard or sit on different shards — a drain
+        // that consumed a co-located peer's entries would make fused
+        // and split placements of the same topology diverge.
+        let build = || {
+            let mut b = TopologyBuilder::new();
+            let link = LinkConfig::new(1_000_000, SimDuration::from_millis(2));
+            let s0 = b.node();
+            let w0 = b.node();
+            b.duplex(s0, w0, link);
+            let s1 = b.node();
+            let w1 = b.node();
+            b.duplex(s1, w1, link);
+            (b.build(), [s0, w0, s1, w1])
+        };
+        let run = |assignment: Option<Vec<u32>>| {
+            let (t, [s0, w0, s1, w1]) = build();
+            let mut sim = match assignment {
+                None => Simulator::new(t, 47),
+                Some(asg) => Simulator::new_sharded(t, 47, asg),
+            };
+            for (s, w) in [(s0, w0), (s1, w1)] {
+                sim.add_app(
+                    s,
+                    Box::new(Sender {
+                        dst: w,
+                        bytes: 30_000,
+                        flow: None,
+                        drained_at: None,
+                    }),
+                );
+            }
+            for (i, (s, w)) in [(s0, w0), (s1, w1)].into_iter().enumerate() {
+                sim.add_app(
+                    w,
+                    Box::new(ProgressWatcher {
+                        watched: flow_id(s, 0),
+                        offset: SimDuration::from_millis(10 + i as u64),
+                        period: SimDuration::from_millis(10),
+                        log: Vec::new(),
+                        scratch: Vec::new(),
+                    }),
+                );
+            }
+            sim.run_until(SimTime::from_secs(1));
+            let log_of = |w| {
+                sim.app::<ProgressWatcher>(w)
+                    .expect("invariant: ProgressWatcher installed")
+                    .log
+                    .clone()
+            };
+            (log_of(w0), log_of(w1))
+        };
+        let fused = run(None);
+        assert!(
+            fused.0.len() >= 5 && fused.1.len() >= 5,
+            "both watchers saw steady progress: {} / {} drains",
+            fused.0.len(),
+            fused.1.len()
+        );
+        // Watchers co-located off shard 0, then one pair per shard,
+        // then fully split: all identical to the single-shard run.
+        assert_eq!(fused, run(Some(vec![0, 1, 1, 1])));
+        assert_eq!(fused, run(Some(vec![0, 0, 1, 1])));
+        assert_eq!(fused, run(Some(vec![0, 1, 2, 3])));
     }
 
     #[test]

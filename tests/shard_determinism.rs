@@ -21,6 +21,8 @@ fn opts(seconds: u64, shards: u32) -> RunOptions {
         seeds: 1,
         jobs: Some(1),
         shards,
+        thinners: None,
+        sync_period: None,
     }
 }
 
