@@ -91,6 +91,16 @@ impl EmulatedServer {
         self.capacity = capacity;
     }
 
+    /// The hosting node crashed and restarted: forget the running and
+    /// suspended requests, as a freshly started process would. Capacity,
+    /// the RNG stream (determinism), and cumulative stats (measurement
+    /// apparatus, not process memory) survive. Work the crash cut short
+    /// is never credited to `busy_time`.
+    pub fn reset(&mut self) {
+        self.running = None;
+        self.suspended.clear();
+    }
+
     /// Whether a request is currently executing.
     pub fn is_busy(&self) -> bool {
         self.running.is_some()

@@ -433,6 +433,16 @@ impl FrontEnd for AuctionFrontEnd {
         self.next_channel_expiry()
     }
 
+    fn reset(&mut self, _now: SimTime) {
+        self.busy = None;
+        self.contenders.clear();
+        self.bids.clear();
+        self.expiries.clear();
+        self.next_seq = 0;
+        self.going_rate = 0;
+        self.remote = None;
+    }
+
     fn name(&self) -> &'static str {
         "auction"
     }

@@ -18,7 +18,7 @@
 //! guarantees beyond eventual arrival.
 
 use speakup_net::time::SimTime;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Number of log2 payment brackets a digest carries. Bracket `i` counts
 /// payment bytes from events of size `[2^i, 2^{i+1})` (sizes `>= 2^15`
@@ -145,10 +145,13 @@ impl BidDigest {
 }
 
 /// What one replica knows about its peers: the latest digest per
-/// replica, merged by epoch.
+/// replica, merged by epoch, plus which peers it currently considers
+/// *stale* (silent past the failover threshold — see
+/// [`DigestBoard::mark_stale`]).
 #[derive(Clone, Debug, Default)]
 pub struct DigestBoard {
     entries: BTreeMap<u32, BidDigest>,
+    stale: BTreeSet<u32>,
 }
 
 impl DigestBoard {
@@ -162,11 +165,20 @@ impl DigestBoard {
     /// `(replica, epoch)`, so the tie is between identical values).
     /// This single rule makes merging commutative, associative, and
     /// idempotent across arbitrary delivery orders.
-    pub fn merge(&mut self, d: BidDigest) {
+    ///
+    /// A digest from a replica currently marked stale is ALWAYS kept and
+    /// clears the mark: a crashed replica restarts with its epoch reset,
+    /// so its fresh digests would lose the epoch race against its own
+    /// pre-crash ghost forever. Hearing from a stale peer at all *is*
+    /// the recovery signal; the max-epoch rule resumes from the accepted
+    /// entry onward. Returns `true` iff the digest was kept.
+    pub fn merge(&mut self, d: BidDigest) -> bool {
+        let rejoining = self.stale.remove(&d.replica);
         match self.entries.get(&d.replica) {
-            Some(have) if have.epoch >= d.epoch => {}
+            Some(have) if !rejoining && have.epoch >= d.epoch => false,
             _ => {
                 self.entries.insert(d.replica, d);
+                true
             }
         }
     }
@@ -176,6 +188,42 @@ impl DigestBoard {
         for d in other.entries.values() {
             self.merge(*d);
         }
+    }
+
+    /// Failover detection, run by replica `own` at its own epoch
+    /// boundary: every peer whose latest digest lags `own_epoch` by more
+    /// than `k` epochs has missed `k` consecutive sync periods (replicas
+    /// publish in the same cadence) and is marked stale. Marked peers
+    /// drop out of [`DigestBoard::remote_view`] and the live-share
+    /// accessors until a digest from them arrives again ([`Self::merge`]
+    /// clears the mark), so the survivors absorb their contender load.
+    /// Returns the replicas *newly* marked by this call, in id order.
+    pub fn mark_stale(&mut self, own: u32, own_epoch: u64, k: u64) -> Vec<u32> {
+        let mut newly = Vec::new();
+        for d in self.entries.values() {
+            if d.replica != own
+                && own_epoch.saturating_sub(d.epoch) > k
+                && self.stale.insert(d.replica)
+            {
+                newly.push(d.replica);
+            }
+        }
+        newly
+    }
+
+    /// Whether `replica` is currently marked stale.
+    pub fn is_stale(&self, replica: u32) -> bool {
+        self.stale.contains(&replica)
+    }
+
+    /// Replicas currently marked stale, in id order.
+    pub fn stale_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.stale.iter().copied()
+    }
+
+    /// Number of replicas currently marked stale.
+    pub fn stale_count(&self) -> usize {
+        self.stale.len()
     }
 
     /// The latest digest seen from `replica`, if any.
@@ -198,13 +246,26 @@ impl DigestBoard {
         self.entries.get(&replica).map_or(0, |d| d.paid_total)
     }
 
+    /// [`Self::total_paid`] over live (non-stale) replicas only: the
+    /// denominator of the capacity-share rebalance, so survivors absorb
+    /// a dead peer's slice instead of leaving it reserved for a ghost.
+    pub fn live_total_paid(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|d| !self.stale.contains(&d.replica))
+            .map(|d| d.paid_total)
+            .sum()
+    }
+
     /// Aggregate the board into the view replica `self_replica` feeds
     /// its auction gate: peer busyness, peer contender count, and the
-    /// best peer bid ranked (paid desc, seq asc, replica asc).
+    /// best peer bid ranked (paid desc, seq asc, replica asc). Stale
+    /// peers are excluded — a dead replica's last-known top bid must not
+    /// keep outbidding live contenders for the rest of the run.
     pub fn remote_view(&self, self_replica: u32) -> RemoteView {
         let mut v = RemoteView::default();
         for d in self.entries.values() {
-            if d.replica == self_replica {
+            if d.replica == self_replica || self.stale.contains(&d.replica) {
                 continue;
             }
             v.busy |= d.busy;
@@ -353,6 +414,54 @@ mod tests {
         assert!(v.local_wins(500, 3, 3));
         assert!(!v.local_wins(500, 4, 3)); // seq tie: replica 1 < 3
         assert!(!v.local_wins(499, 0, 3));
+    }
+
+    #[test]
+    fn stale_marking_detects_silence_and_rejoin_clears_it() {
+        let mut b = DigestBoard::new();
+        b.merge(digest(0, 10, 100)); // self
+        b.merge(digest(1, 9, 50)); // one epoch behind: live
+        b.merge(digest(2, 5, 70)); // silent for 5 epochs
+                                   // k = 3: replica 2 crossed the threshold, replica 1 did not,
+                                   // and self (replica 0) is never marked.
+        assert_eq!(b.mark_stale(0, 10, 3), vec![2]);
+        assert!(b.is_stale(2) && !b.is_stale(1) && !b.is_stale(0));
+        assert_eq!(b.mark_stale(0, 10, 3), Vec::<u32>::new(), "no re-report");
+        assert_eq!(b.stale_count(), 1);
+        assert_eq!(b.stale_ids().collect::<Vec<_>>(), vec![2]);
+        // The stale peer drops out of the live aggregates but its last
+        // digest stays on the board (cumulative history is still real).
+        assert_eq!(b.total_paid(), 220);
+        assert_eq!(b.live_total_paid(), 150);
+        assert_eq!(b.paid_of(2), 70);
+        // Re-join: the restarted replica publishes with a RESET epoch.
+        // Plain max-epoch would reject 1 < 5 forever; the stale mark
+        // forces acceptance and clears.
+        assert!(b.merge(digest(2, 1, 5)), "stale re-join must be kept");
+        assert!(!b.is_stale(2));
+        assert_eq!(b.paid_of(2), 5);
+        assert_eq!(b.live_total_paid(), 155);
+        // Ordinary epoch discipline resumes after the re-join.
+        assert!(!b.merge(digest(2, 0, 99)));
+        assert_eq!(b.paid_of(2), 5);
+    }
+
+    #[test]
+    fn stale_peers_drop_out_of_the_remote_view() {
+        let mut b = DigestBoard::new();
+        let mut d1 = digest(1, 1, 10);
+        d1.busy = true;
+        d1.contenders = 7;
+        d1.top_paid = 9_999;
+        d1.top_seq = 1;
+        d1.has_top = true;
+        b.merge(d1);
+        assert_eq!(b.remote_view(0).top, Some((9_999, 1, 1)));
+        b.mark_stale(0, 10, 3);
+        let v = b.remote_view(0);
+        assert_eq!(v.top, None, "a dead peer's ghost bid must not outbid");
+        assert!(!v.busy);
+        assert_eq!(v.contenders, 0);
     }
 
     #[test]

@@ -70,6 +70,14 @@ pub trait FrontEnd: Send {
     /// at which the driver must call `on_tick` again, if any.
     fn on_tick(&mut self, now: SimTime, out: &mut Vec<Directive>) -> Option<SimTime>;
 
+    /// The hosting node crashed and restarted at `now`: drop all
+    /// in-flight request state (contenders, queues, rate estimates) as a
+    /// freshly started process would. Configuration, RNG streams, and
+    /// cumulative counters survive — counters are the harness's
+    /// measurement apparatus, not process memory, and continuing the RNG
+    /// stream keeps the run deterministic across shard counts.
+    fn reset(&mut self, now: SimTime);
+
     /// Short human-readable name for reports.
     fn name(&self) -> &'static str;
 

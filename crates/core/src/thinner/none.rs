@@ -68,6 +68,10 @@ impl FrontEnd for NoDefense {
         None
     }
 
+    fn reset(&mut self, _now: SimTime) {
+        self.busy = None;
+    }
+
     fn name(&self) -> &'static str {
         "off"
     }

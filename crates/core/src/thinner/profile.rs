@@ -156,6 +156,12 @@ impl FrontEnd for ProfileFrontEnd {
         None
     }
 
+    fn reset(&mut self, _now: SimTime) {
+        self.busy = None;
+        self.queue.clear();
+        self.buckets.clear();
+    }
+
     fn name(&self) -> &'static str {
         "profile"
     }

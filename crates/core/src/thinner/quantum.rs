@@ -265,6 +265,12 @@ impl FrontEnd for QuantumFrontEnd {
         Some(now + self.cfg.quantum)
     }
 
+    fn reset(&mut self, _now: SimTime) {
+        self.active = None;
+        self.contenders.clear();
+        self.next_seq = 0;
+    }
+
     fn name(&self) -> &'static str {
         "quantum"
     }

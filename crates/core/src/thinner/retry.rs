@@ -239,6 +239,15 @@ impl FrontEnd for RetryFrontEnd {
             .or(Some(now + self.cfg.bucket))
     }
 
+    fn reset(&mut self, now: SimTime) {
+        self.busy = None;
+        self.queue.clear();
+        self.pending.clear();
+        self.bucket_count = 0;
+        self.bucket_started = now;
+        self.rate_estimate = 0.0;
+    }
+
     fn name(&self) -> &'static str {
         "retry"
     }

@@ -79,6 +79,9 @@ impl AppSet for AppSlot {
     fn on_control(&mut self, ctx: &mut Ctx, src: speakup_net::NodeId, payload: &[u64]) {
         each_variant!(self, a => a.on_control(ctx, src, payload))
     }
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        each_variant!(self, a => a.on_restart(ctx))
+    }
 
     fn as_any(&self) -> &dyn Any {
         match self {

@@ -69,6 +69,12 @@ pub struct ReplicaConfig {
     pub total_capacity: f64,
     /// Total replica count.
     pub count: u32,
+    /// Failover threshold: declare a peer stale (crashed or partitioned)
+    /// once its latest digest lags this replica's epoch by more than
+    /// this many sync periods. Stale peers drop out of the capacity
+    /// shares — the survivors absorb the dead replica's slice — and
+    /// re-join on their next digest (see [`DigestBoard::mark_stale`]).
+    pub stale_after: u64,
 }
 
 /// Smoothing mass (bytes) added to every replica's paid total when
@@ -132,6 +138,18 @@ pub struct ThinnerAgent {
     /// Next channel-expiry deadline last reported by the front end
     /// (digest `expiry_horizon`; refreshed on every tick).
     expiry_hint: Option<SimTime>,
+    /// When this replica first declared a peer stale (time-to-failover
+    /// measurements; survives restarts like the other metrics).
+    failover_at: Option<SimTime>,
+    /// When a stale peer's digest was first accepted back
+    /// (time-to-recovery measurements).
+    rejoin_at: Option<SimTime>,
+    /// Half-open observation window `[from, until)` during which
+    /// completions are additionally tallied into `window_allocation`
+    /// (the runner points this at a fault's outage interval).
+    observe: Option<(SimTime, SimTime)>,
+    /// Completed requests by class inside the observation window.
+    window_allocation: Allocation,
     /// Collected measurements.
     pub metrics: ThinnerMetrics,
 }
@@ -169,6 +187,10 @@ impl ThinnerAgent {
             digest: BidDigest::new(0),
             board: DigestBoard::new(),
             expiry_hint: None,
+            failover_at: None,
+            rejoin_at: None,
+            observe: None,
+            window_allocation: Allocation::default(),
             metrics: ThinnerMetrics::default(),
         }
     }
@@ -191,6 +213,35 @@ impl ThinnerAgent {
     /// This replica's sync epoch so far (0 when unreplicated).
     pub fn sync_epoch(&self) -> u64 {
         self.digest.epoch
+    }
+
+    /// When this replica first declared a peer stale, if it ever did
+    /// (time-to-failover = this minus the crash instant).
+    pub fn failover_at(&self) -> Option<SimTime> {
+        self.failover_at
+    }
+
+    /// When this replica first re-accepted a stale peer's digest, if
+    /// ever (time-to-recovery = this minus the restart instant).
+    pub fn rejoin_at(&self) -> Option<SimTime> {
+        self.rejoin_at
+    }
+
+    /// Tally completions inside `[from, until)` into a separate
+    /// [`ThinnerAgent::window_allocation`] counter. The runner points
+    /// this at a scheduled fault's outage interval so reports can state
+    /// the good-client allocation *during* the outage, not just over the
+    /// whole run. Like the cumulative metrics, the window survives a
+    /// crash/restart of the hosting node.
+    pub fn observe_window(&mut self, from: SimTime, until: SimTime) {
+        assert!(from < until, "observation window must be non-empty");
+        self.observe = Some((from, until));
+    }
+
+    /// Completed requests by class inside the observation window (zero
+    /// if no window was set).
+    pub fn window_allocation(&self) -> Allocation {
+        self.window_allocation.clone()
     }
 
     /// Read access to the server (utilization, completion counts).
@@ -477,14 +528,21 @@ impl ThinnerAgent {
     /// whose clients deliver more payment bandwidth serves a matching
     /// share of the server, so the going rate equalizes across
     /// replicas as sync staleness allows.
+    ///
+    /// Shares are computed over *live* replicas only: a peer declared
+    /// stale (see [`ReplicaConfig::stale_after`]) drops out of both the
+    /// paid total and the smoothing mass, so the survivors' shares sum
+    /// to 1 and the dead replica's capacity slice is absorbed rather
+    /// than stranded. With no stale peers — every fault-free run — this
+    /// is arithmetic-identical to the all-replicas formula.
     fn rebalance_capacity(&mut self) {
         let Some(cfg) = &self.replica else {
             return;
         };
-        let total = self.board.total_paid() as f64;
+        let total = self.board.live_total_paid() as f64;
         let mine = self.board.paid_of(cfg.id) as f64;
-        let n = f64::from(cfg.count);
-        let share = (mine + SHARE_SMOOTHING_BYTES) / (total + SHARE_SMOOTHING_BYTES * n);
+        let live_n = f64::from(cfg.count) - self.board.stale_count() as f64;
+        let share = (mine + SHARE_SMOOTHING_BYTES) / (total + SHARE_SMOOTHING_BYTES * live_n);
         self.server.set_capacity(cfg.total_capacity * share);
     }
 }
@@ -568,6 +626,15 @@ impl App for ThinnerAgent {
                 } else {
                     self.metrics.allocation.good += 1;
                 }
+                if let Some((from, until)) = self.observe {
+                    if now >= from && now < until {
+                        if info.is_bad {
+                            self.window_allocation.bad += 1;
+                        } else {
+                            self.window_allocation.good += 1;
+                        }
+                    }
+                }
                 if let Some(q) = self.quantum {
                     // Work consumed ≈ difficulty/c; count quanta.
                     let quanta = ((info.difficulty / self.server.capacity()) / q.as_secs_f64())
@@ -598,9 +665,17 @@ impl App for ThinnerAgent {
             TOKEN_SYNC => {
                 // Epoch boundary: credit any fresh payment bytes first
                 // so the published digest is current, then publish,
-                // re-rate, and re-arm.
+                // check for silent peers, re-rate, and re-arm.
                 self.sync_delivered_channels(ctx);
                 self.publish_digest(ctx);
+                if let Some(cfg) = &self.replica {
+                    let newly = self
+                        .board
+                        .mark_stale(cfg.id, self.digest.epoch, cfg.stale_after);
+                    if !newly.is_empty() && self.failover_at.is_none() {
+                        self.failover_at = Some(ctx.now());
+                    }
+                }
                 self.rebalance_capacity();
                 if let Some(cfg) = &self.replica {
                     ctx.set_timer(cfg.sync_period, TOKEN_SYNC);
@@ -621,12 +696,44 @@ impl App for ThinnerAgent {
         }
     }
 
-    fn on_control(&mut self, _ctx: &mut Ctx, _src: NodeId, payload: &[u64]) {
+    fn on_control(&mut self, ctx: &mut Ctx, _src: NodeId, payload: &[u64]) {
         // A peer replica's digest. Merge-by-epoch makes delivery order
         // irrelevant; the capacity share follows the freshened board.
         if let Some(d) = BidDigest::decode(payload) {
-            self.board.merge(d);
+            let was_stale = self.board.is_stale(d.replica);
+            let kept = self.board.merge(d);
+            if kept && was_stale && self.rejoin_at.is_none() {
+                self.rejoin_at = Some(ctx.now());
+            }
             self.rebalance_capacity();
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        // The hosting node crashed and came back: every flow, timer, and
+        // watch died with it, and a fresh thinner process holds no
+        // in-flight request state. Cumulative metrics survive — they are
+        // the harness's measurement apparatus, not process memory.
+        self.fe.reset(ctx.now());
+        self.server.reset();
+        self.down_flows.clear();
+        self.channels.clear();
+        self.by_flow.clear();
+        self.states.clear();
+        self.paid.clear();
+        self.server_timer = None;
+        self.tick_timer = None;
+        self.alias_of.clear();
+        self.real_of.clear();
+        self.expiry_hint = None;
+        // The digest epoch restarts from zero — that reset is exactly
+        // the re-join signal peers accept past their max-epoch rule —
+        // and the board refills from the next round of peer digests.
+        let id = self.replica.as_ref().map_or(0, |cfg| cfg.id);
+        self.digest = BidDigest::new(id);
+        self.board = DigestBoard::new();
+        // Come back up exactly like a first boot: housekeeping tick now,
+        // first digest publish one sync period from now.
+        self.start(ctx);
     }
 }

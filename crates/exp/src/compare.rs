@@ -18,7 +18,8 @@
 use crate::driver::{entry_json, execute};
 use crate::json::Json;
 use crate::registry::{self, RunOptions};
-use speakup_net::time::SimDuration;
+use crate::scenario::FaultSpec;
+use speakup_net::time::{SimDuration, SimTime};
 use std::io::Write;
 
 /// One numeric disagreement between golden and fresh reports.
@@ -49,6 +50,14 @@ fn tolerance_for(path: &str) -> Option<(f64, f64)> {
         // Replica fairness divergence: an absolute band around zero (the
         // generic catch-all's ±0.5 would vacuously pass a share delta).
         ("delta_vs_r1", Some((0.0, 0.02))),
+        // Failover timing is quantized by the digest sync cadence: a
+        // legitimate change can shift detection or re-join by a whole
+        // sync period, so these get a much wider band than fairness.
+        ("time_to_", Some((0.20, 0.25))),
+        // The outage-window allocation share is estimated from the few
+        // seconds a replica is down — twice the steady-state share band.
+        // (Must precede the generic "fraction" rule.)
+        ("outage_good_fraction", Some((0.0, 0.04))),
         // Spreads and tail statistics drift hardest under small changes.
         ("stddev", Some((0.25, 1e-6))),
         ("p90", Some((0.10, 1e-6))),
@@ -212,6 +221,20 @@ pub fn options_of(golden: &Json) -> Result<(&'static registry::Entry, RunOptions
                 * 1_000_000,
         )),
     };
+    // Fault overrides round-trip in nanoseconds so the re-run schedules
+    // byte-identical fault events (seconds would lose precision through
+    // the f64 path).
+    let faults = match golden.get("faults_override") {
+        None => Vec::new(),
+        Some(Json::Arr(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(fault_of(item)?);
+            }
+            out
+        }
+        Some(_) => return Err("golden file's \"faults_override\" must be an array".to_string()),
+    };
     Ok((
         entry,
         RunOptions {
@@ -222,8 +245,44 @@ pub fn options_of(golden: &Json) -> Result<(&'static registry::Entry, RunOptions
             shards: 1,
             thinners,
             sync_period,
+            faults,
         },
     ))
+}
+
+/// Parse one `faults_override` entry back into the [`FaultSpec`] it was
+/// rendered from (see `driver::fault_json`).
+fn fault_of(item: &Json) -> Result<FaultSpec, String> {
+    let kind = item
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("fault override entry has no \"kind\"")?;
+    let ns = |field: &str| -> Result<u64, String> {
+        item.get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("fault override entry needs a u64 {field:?}"))
+    };
+    match kind {
+        "replica_crash" => {
+            let replica = ns("replica")?;
+            if replica > u32::MAX as u64 {
+                return Err("fault override \"replica\" is out of range".to_string());
+            }
+            Ok(FaultSpec::ReplicaCrash {
+                replica: replica as u32,
+                at: SimTime::from_nanos(ns("at_ns")?),
+                down_for: SimDuration::from_nanos(
+                    ns("down_for_ns")?.max(1), // zero would panic in the builder path
+                ),
+            })
+        }
+        "link_flaps" => Ok(FaultSpec::LinkFlaps {
+            seed: ns("seed")?,
+            mean_every: SimDuration::from_nanos(ns("mean_every_ns")?.max(1)),
+            mean_down: SimDuration::from_nanos(ns("mean_down_ns")?.max(1)),
+        }),
+        other => Err(format!("unknown fault override kind {other:?}")),
+    }
 }
 
 /// The number of numeric leaves in `doc` that [`tolerance_for`] would
@@ -261,7 +320,7 @@ pub fn checked_metric_count(doc: &Json) -> usize {
     // Only measurement payloads count — header echoes (duration_s,
     // base_seed, seeds) are inputs, not results.
     let mut n = 0;
-    for payload in ["runs", "analysis", "fairness"] {
+    for payload in ["runs", "analysis", "fairness", "failover"] {
         if let Some(v) = doc.get(payload) {
             count(payload, v, &mut n);
         }
@@ -507,8 +566,110 @@ mod tests {
             vec![Json::obj().field("allocation", Json::obj().field("good", 140u64))],
         );
         assert_eq!(checked_metric_count(&with_metric), 1);
-        let with_fairness = header_only.field("fairness", Json::obj().field("band", 0.05));
+        let with_fairness = header_only
+            .clone()
+            .field("fairness", Json::obj().field("band", 0.05));
         assert_eq!(checked_metric_count(&with_fairness), 1);
+        // The failover section is a payload too: a fault golden whose
+        // runs were stripped must still be caught as checkable-or-reject.
+        let with_failover = header_only.field(
+            "failover",
+            Json::obj().field(
+                "runs",
+                vec![Json::obj().field("outage_good_fraction", 0.48)],
+            ),
+        );
+        assert_eq!(checked_metric_count(&with_failover), 1);
+    }
+
+    #[test]
+    fn failover_timing_uses_a_wider_band_than_fairness() {
+        // Failover detection is quantized by the sync cadence, so the
+        // timing rule admits drift that would fail every fairness band.
+        let golden = Json::obj().field("time_to_failover_s", 1.0);
+        let close = Json::obj().field("time_to_failover_s", 1.4);
+        let far = Json::obj().field("time_to_failover_s", 2.0);
+        assert!(diff(&golden, &close, 1.0).is_empty());
+        assert_eq!(diff(&golden, &far, 1.0).len(), 1);
+        // Recovery timing shares the rule via the "time_to_" prefix.
+        let golden = Json::obj().field("time_to_recovery_s", 0.1);
+        let close = Json::obj().field("time_to_recovery_s", 0.3);
+        assert!(diff(&golden, &close, 1.0).is_empty());
+    }
+
+    #[test]
+    fn outage_share_band_is_wider_than_fairness_but_still_absolute() {
+        let golden = Json::obj().field("outage_good_fraction", 0.50);
+        // 0.03 off: inside the ±0.04 outage band, but outside the ±0.02
+        // the generic "fraction" rule would impose — proving the more
+        // specific rule matches first.
+        let close = Json::obj().field("outage_good_fraction", 0.53);
+        let far = Json::obj().field("outage_good_fraction", 0.56);
+        assert!(diff(&golden, &close, 1.0).is_empty());
+        assert_eq!(diff(&golden, &far, 1.0).len(), 1);
+        // A timing event that vanished (null vs number) is structure
+        // drift, not numeric drift — always reported.
+        let golden = Json::obj().field("time_to_failover_s", 0.5);
+        let gone = Json::obj().field("time_to_failover_s", Json::Null);
+        assert_eq!(diff(&golden, &gone, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn fault_overrides_round_trip_from_golden_header() {
+        let faults = vec![
+            FaultSpec::ReplicaCrash {
+                replica: 1,
+                at: SimTime::from_secs(15),
+                down_for: SimDuration::from_secs(10),
+            },
+            FaultSpec::LinkFlaps {
+                seed: 9,
+                mean_every: SimDuration::from_secs(10),
+                mean_down: SimDuration::from_millis(200),
+            },
+        ];
+        let golden = Json::obj()
+            .field("experiment", "fig2_faults")
+            .field("duration_s", 60.0)
+            .field("base_seed", 0x5ea4u64)
+            .field("seeds", 1u32)
+            .field(
+                "faults_override",
+                faults
+                    .iter()
+                    .map(crate::driver::fault_json)
+                    .collect::<Vec<_>>(),
+            );
+        let (entry, opts) = options_of(&golden).expect("valid fault header");
+        assert_eq!(entry.name, "fig2_faults");
+        assert_eq!(opts.faults, faults);
+        // Absent override: no faults (every pre-fault golden).
+        let plain = Json::obj()
+            .field("experiment", "fig2")
+            .field("duration_s", 10.0)
+            .field("base_seed", 1u64)
+            .field("seeds", 1u32);
+        let (_, opts) = options_of(&plain).expect("valid header");
+        assert!(opts.faults.is_empty());
+        // Corrupt shapes error instead of silently re-running fault-free.
+        for bad in [
+            Json::Str("replica=1@15+10".to_string()),
+            Json::Arr(vec![Json::obj().field("kind", "meteor_strike")]),
+            Json::Arr(vec![Json::obj()
+                .field("kind", "replica_crash")
+                .field("replica", 1u64)]),
+        ] {
+            let doc = Json::obj()
+                .field("experiment", "fig2")
+                .field("duration_s", 10.0)
+                .field("base_seed", 1u64)
+                .field("seeds", 1u32)
+                .field("faults_override", bad);
+            assert!(
+                options_of(&doc).is_err(),
+                "corrupt faults_override accepted"
+            );
+        }
     }
 
     #[test]

@@ -25,8 +25,8 @@ use crate::json::Json;
 use crate::registry::{registry, Entry, Kind, RunOptions};
 use crate::report::{frac, table, Reps};
 use crate::runner::{default_jobs, run_all_pooled, RunReport};
-use crate::scenario::Scenario;
-use speakup_net::time::SimDuration;
+use crate::scenario::{FaultSpec, Scenario};
+use speakup_net::time::{SimDuration, SimTime};
 use speakup_net::trace::Samples;
 
 /// A parsed command line.
@@ -78,7 +78,7 @@ USAGE:
     speakup list [--json]
     speakup run <name>... | all [--secs N] [--seed N] [--seeds K]
                 [--jobs N] [--shards K] [--thinners R] [--sync-period MS]
-                [--json]
+                [--faults SPEC] [--fault-seed N] [--json]
     speakup compare <golden.json>... [--tol X] [--jobs N] [--shards K]
     speakup lint [--root <dir>] [--json]
     speakup help
@@ -102,6 +102,18 @@ OPTIONS (run):
     --sync-period MS
                 override the replica digest-sync cadence, milliseconds
                 (only meaningful with more than one thinner)
+    --faults SPEC
+                inject deterministic faults into every run. SPEC is a
+                comma-separated list of `replica=<idx>@<at_s>+<down_s>`
+                entries: crash thinner replica <idx> at <at_s> simulated
+                seconds for <down_s> seconds. A crash entry applies only
+                to grid points with more than <idx> replicas; repeated
+                --faults flags accumulate.
+    --fault-seed N
+                additionally flap every client uplink on a seed-N
+                randomized schedule (Poisson onsets, mean 10 s between
+                flaps, mean 200 ms down). The schedule derives from N
+                alone, so a run is reproducible from its command line.
     --json      print only the machine-readable JSON report
 
 OPTIONS (compare):
@@ -168,6 +180,49 @@ fn parse_shards(v: Option<&&String>) -> Result<u32, String> {
     u32::try_from(n).map_err(|_| format!("--shards {n} does not fit in 32 bits"))
 }
 
+/// `--faults SPEC`: comma-separated fault entries, each
+/// `replica=<idx>@<at_s>+<down_s>` (integer simulated seconds). The
+/// flags accumulate instead of last-wins: a sweep may crash two
+/// different replicas in one run.
+fn parse_faults(v: Option<&&String>) -> Result<Vec<FaultSpec>, String> {
+    const SHAPE: &str = "replica=<idx>@<at_s>+<down_s>";
+    let spec = v.ok_or_else(|| format!("--faults needs a spec ({SHAPE})"))?;
+    let secs_ns = |what: &str, s: &str| -> Result<u64, String> {
+        s.parse::<u64>()
+            .ok()
+            .and_then(|n| n.checked_mul(speakup_net::time::NANOS_PER_SEC))
+            .ok_or_else(|| format!("--faults: {what} {s:?} must fit the nanosecond clock"))
+    };
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let rest = part
+            .strip_prefix("replica=")
+            .ok_or_else(|| format!("--faults: unsupported entry {part:?} (expected {SHAPE})"))?;
+        let (idx, timing) = rest
+            .split_once('@')
+            .ok_or_else(|| format!("--faults: entry {part:?} has no @<at_s> (expected {SHAPE})"))?;
+        let (at, down) = timing.split_once('+').ok_or_else(|| {
+            format!("--faults: entry {part:?} has no +<down_s> (expected {SHAPE})")
+        })?;
+        let replica = idx
+            .parse::<u32>()
+            .map_err(|_| format!("--faults: replica index {idx:?} must be a u32"))?;
+        let down_ns = secs_ns("outage", down)?;
+        if down_ns == 0 {
+            return Err(format!(
+                "--faults: entry {part:?} has a zero-length outage (a crash must keep \
+                 the replica down for at least a second)"
+            ));
+        }
+        out.push(FaultSpec::ReplicaCrash {
+            replica,
+            at: SimTime::from_nanos(secs_ns("crash time", at)?),
+            down_for: SimDuration::from_nanos(down_ns),
+        });
+    }
+    Ok(out)
+}
+
 /// Parse a command line (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
@@ -231,6 +286,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             format!("--sync-period {ms} does not fit the nanosecond clock")
                         })?;
                         opts.sync_period = Some(SimDuration::from_nanos(nanos));
+                        i += 2;
+                    }
+                    "--faults" => {
+                        opts.faults.extend(parse_faults(rest.get(i + 1))?);
+                        i += 2;
+                    }
+                    "--fault-seed" => {
+                        let seed = flag_num("--fault-seed", rest.get(i + 1))?;
+                        opts.faults.push(FaultSpec::LinkFlaps {
+                            seed,
+                            mean_every: SimDuration::from_secs(10),
+                            mean_down: SimDuration::from_millis(200),
+                        });
                         i += 2;
                     }
                     "--json" => {
@@ -381,6 +449,21 @@ pub fn execute(entry: &'static Entry, opts: &RunOptions) -> EntryRun {
                     }
                     if let Some(p) = opts.sync_period {
                         replicate.sync_period = p;
+                    }
+                    // Fault overrides: a replica crash only makes sense
+                    // on grid points that actually run that replica
+                    // (non-auction or low-R points are left fault-free
+                    // rather than rejected, so `run all --faults ...`
+                    // works); link flaps apply to every point.
+                    for f in &opts.faults {
+                        match *f {
+                            FaultSpec::ReplicaCrash { replica, .. } => {
+                                if replica < replicate.thinners {
+                                    replicate.faults.push(*f);
+                                }
+                            }
+                            FaultSpec::LinkFlaps { .. } => replicate.faults.push(*f),
+                        }
                     }
                     all.push(replicate);
                 }
@@ -589,19 +672,24 @@ pub fn entry_json(run: &EntryRun, opts: &RunOptions) -> Json {
     if let Some(p) = opts.sync_period {
         doc = doc.field("sync_period_override_ms", p.as_nanos() / 1_000_000);
     }
+    if !opts.faults.is_empty() {
+        doc = doc.field(
+            "faults_override",
+            opts.faults.iter().map(fault_json).collect::<Vec<_>>(),
+        );
+    }
     if let Some(extra) = &run.analytic_json {
         doc = doc.field("analysis", extra.clone());
     }
     // Replicated entries carry a fairness-divergence section: each grid
     // point's good-client allocation against the R=1 baseline, plus the
-    // committed band the regression test enforces.
-    if run.reports.iter().any(|r| r.thinners > 1) {
-        let base_frac = run
-            .reports
-            .iter()
-            .find(|r| r.thinners == 1)
-            .map(|r| r.good_fraction())
-            .unwrap_or(0.0);
+    // committed band the regression test enforces. An all-replicated
+    // grid (e.g. fig2_faults, every point R=4) has no such baseline —
+    // a delta against a made-up 0.0 would be noise, so the section is
+    // omitted entirely.
+    let baseline_r1 = run.reports.iter().find(|r| r.thinners == 1);
+    if run.reports.iter().any(|r| r.thinners > 1) && baseline_r1.is_some() {
+        let base_frac = baseline_r1.map(|r| r.good_fraction()).unwrap_or(0.0);
         let divergence: Vec<Json> = run
             .reports
             .iter()
@@ -622,10 +710,70 @@ pub fn entry_json(run: &EntryRun, opts: &RunOptions) -> Json {
                 .field("divergence", Json::Arr(divergence)),
         );
     }
+    // Runs with an injected replica crash carry a failover section: the
+    // crash/restart instants, how long the survivors took to notice and
+    // how long the restarted replica took to re-join (null when the
+    // event never happened inside the run), and the good-client share
+    // of the work completed during the outage window — the metric the
+    // committed band constrains.
+    let failover_runs: Vec<Json> = run
+        .reports
+        .iter()
+        .filter_map(|r| {
+            let f = r.failover.as_ref()?;
+            let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+            Some(
+                Json::obj()
+                    .field("name", r.name.as_str())
+                    .field("seed", r.seed)
+                    .field("crash_at_s", f.crash_at_s)
+                    .field("restart_at_s", f.restart_at_s)
+                    .field("time_to_failover_s", opt(f.time_to_failover_s()))
+                    .field("time_to_recovery_s", opt(f.time_to_recovery_s()))
+                    .field("outage_good", f.outage_allocation.good)
+                    .field("outage_bad", f.outage_allocation.bad)
+                    .field("outage_good_fraction", f.outage_good_fraction()),
+            )
+        })
+        .collect();
+    if !failover_runs.is_empty() {
+        doc = doc.field(
+            "failover",
+            Json::obj()
+                .field("band", crate::registry::FAULT_GOODPUT_BAND)
+                .field("runs", Json::Arr(failover_runs)),
+        );
+    }
     doc.field(
         "runs",
         run.reports.iter().map(report_json).collect::<Vec<_>>(),
     )
+}
+
+/// One fault override as echoed in the report header
+/// (`faults_override`). Nanosecond u64 fields so `speakup compare` can
+/// reconstruct the exact schedule (seconds through f64 would round).
+pub fn fault_json(f: &FaultSpec) -> Json {
+    match *f {
+        FaultSpec::ReplicaCrash {
+            replica,
+            at,
+            down_for,
+        } => Json::obj()
+            .field("kind", "replica_crash")
+            .field("replica", replica)
+            .field("at_ns", at.as_nanos())
+            .field("down_for_ns", down_for.as_nanos()),
+        FaultSpec::LinkFlaps {
+            seed,
+            mean_every,
+            mean_down,
+        } => Json::obj()
+            .field("kind", "link_flaps")
+            .field("seed", seed)
+            .field("mean_every_ns", mean_every.as_nanos())
+            .field("mean_down_ns", mean_down.as_nanos()),
+    }
 }
 
 /// The `speakup list` table.
@@ -993,6 +1141,89 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        // One crash entry, one flap schedule; --faults accumulates.
+        match parse(&s(&[
+            "run",
+            "fig2_faults",
+            "--faults",
+            "replica=1@15+10",
+            "--faults",
+            "replica=2@30+5",
+            "--fault-seed",
+            "7",
+        ]))
+        .unwrap()
+        {
+            Command::Run { opts, .. } => {
+                assert_eq!(
+                    opts.faults,
+                    vec![
+                        FaultSpec::ReplicaCrash {
+                            replica: 1,
+                            at: SimTime::from_secs(15),
+                            down_for: SimDuration::from_secs(10),
+                        },
+                        FaultSpec::ReplicaCrash {
+                            replica: 2,
+                            at: SimTime::from_secs(30),
+                            down_for: SimDuration::from_secs(5),
+                        },
+                        FaultSpec::LinkFlaps {
+                            seed: 7,
+                            mean_every: SimDuration::from_secs(10),
+                            mean_down: SimDuration::from_millis(200),
+                        },
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Comma-separated entries in one flag parse the same way.
+        match parse(&s(&[
+            "run",
+            "fig3",
+            "--faults",
+            "replica=0@5+2,replica=3@8+1",
+        ]))
+        .unwrap()
+        {
+            Command::Run { opts, .. } => assert_eq!(opts.faults.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default: no faults.
+        match parse(&s(&["run", "fig3"])).unwrap() {
+            Command::Run { opts, .. } => assert!(opts.faults.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_flags_reject_malformed_specs() {
+        for bad in [
+            "replica=1",          // no timing
+            "replica=1@15",       // no outage
+            "replica=1@15+0",     // zero-length outage
+            "replica=x@15+10",    // non-numeric index
+            "replica=1@soon+10",  // non-numeric time
+            "link=3@1+1",         // unknown kind
+            "",                   // empty entry
+            "replica=1@15+10,,x", // empty entry in a list
+        ] {
+            assert!(
+                parse(&s(&["run", "fig3", "--faults", bad])).is_err(),
+                "spec {bad:?} should be rejected"
+            );
+        }
+        // Missing value and overflow fail like any other flag.
+        assert!(parse(&s(&["run", "fig3", "--faults"])).is_err());
+        assert!(parse(&s(&["run", "fig3", "--fault-seed"])).is_err());
+        let huge = format!("replica=1@{}+10", u64::MAX);
+        let err = parse(&s(&["run", "fig3", "--faults", &huge])).unwrap_err();
+        assert!(err.contains("must fit"), "got: {err}");
     }
 
     #[test]

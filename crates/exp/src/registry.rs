@@ -16,12 +16,12 @@
 use crate::json::Json;
 use crate::report::{count_est, frac, frac_est, kbytes, kbytes_est, secs_est, table, Est, Reps};
 use crate::runner::RunReport;
-use crate::scenario::{Mode, Scenario};
+use crate::scenario::{FaultSpec, Mode, Scenario};
 use crate::scenarios;
-use speakup_net::time::SimDuration;
+use speakup_net::time::{SimDuration, SimTime};
 
 /// Options shared by every entry run.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunOptions {
     /// Simulated duration; `None` means the entry's paper default.
     pub duration: Option<SimDuration>,
@@ -41,6 +41,12 @@ pub struct RunOptions {
     /// Replica digest-sync cadence override; `None` keeps each
     /// scenario's own period.
     pub sync_period: Option<SimDuration>,
+    /// Fault overrides (`--faults`, `--fault-seed`), appended to every
+    /// grid point's own schedule. Replica crashes apply only to grid
+    /// points with enough replicas (a crash spec for replica 1 is
+    /// meaningless against a single-thinner point); link flaps apply to
+    /// every point.
+    pub faults: Vec<FaultSpec>,
 }
 
 impl Default for RunOptions {
@@ -53,6 +59,7 @@ impl Default for RunOptions {
             shards: 1,
             thinners: None,
             sync_period: None,
+            faults: Vec::new(),
         }
     }
 }
@@ -122,7 +129,7 @@ pub fn find(name: &str) -> Option<&'static Entry> {
     REGISTRY.iter().find(|e| e.name == name)
 }
 
-static REGISTRY: [Entry; 15] = [
+static REGISTRY: [Entry; 16] = [
     Entry {
         name: "fig2",
         section: "§7.2, Figure 2",
@@ -162,6 +169,17 @@ static REGISTRY: [Entry; 15] = [
         kind: Kind::Sim {
             build: build_fig2_replicated,
             render: render_fig2_replicated,
+        },
+    },
+    Entry {
+        name: "fig2_faults",
+        section: "§7.2 robustness",
+        title: "replica failover: fig2's f=0.5 point with R=4 replicas, one crashing mid-run",
+        default_secs: 60,
+        grid: "sync ∈ {10,100} ms × (baseline + crash@{15,30} s)",
+        kind: Kind::Sim {
+            build: build_fig2_faults,
+            render: render_fig2_faults,
         },
     },
     Entry {
@@ -430,6 +448,103 @@ fn render_fig2_replicated(scens: &[Scenario], reps: &[Reps]) -> String {
                 "vs R=1",
                 "good served",
                 "ideal"
+            ],
+            &rows
+        )
+    )
+}
+
+// ---------------------------------------------------------------------------
+// §7.2 robustness: replica failover under a mid-run crash
+// ---------------------------------------------------------------------------
+
+/// Committed goodput band for the fault entry: the good-client share of
+/// the work completed *during a replica outage* must sit within this
+/// absolute distance of the same sync cadence's crash-free allocation
+/// share. Recorded in the golden (`failover.band`) and enforced by the
+/// regression test in `tests/fault_determinism.rs`.
+pub const FAULT_GOODPUT_BAND: f64 = 0.10;
+
+/// Replica count for the fault sweep (the acceptance case: 1 of R=4
+/// replicas dies mid-run).
+const FAULT_REPLICAS: u32 = 4;
+/// Which replica crashes. Replica 1, not 0: replica 0 shares its node
+/// with the classic thinner placement, and crashing a non-zero replica
+/// exercises the appended-node path too.
+const FAULT_CRASH_REPLICA: u32 = 1;
+/// Swept crash instants, seconds.
+const FAULT_CRASH_AT_S: [u64; 2] = [15, 30];
+/// Outage length, seconds.
+const FAULT_DOWN_FOR_S: u64 = 10;
+/// Swept digest-sync cadences, milliseconds (failover latency scales
+/// with the sync period: staleness is counted in missed sync epochs).
+const FAULT_SYNC_MS: [u64; 2] = [10, 100];
+
+fn build_fig2_faults() -> Vec<Scenario> {
+    let base = scenarios::fig2(0.5, Mode::Auction).thinners(FAULT_REPLICAS);
+    let mut scens = Vec::new();
+    for &ms in &FAULT_SYNC_MS {
+        let synced = base.clone().sync_period(SimDuration::from_millis(ms));
+        let mut baseline = synced.clone();
+        baseline.name = format!("fig2_faults R={FAULT_REPLICAS} sync={ms}ms baseline");
+        scens.push(baseline);
+        for &at in &FAULT_CRASH_AT_S {
+            let mut s = synced.clone().crash_replica(
+                FAULT_CRASH_REPLICA,
+                SimTime::from_secs(at),
+                SimDuration::from_secs(FAULT_DOWN_FOR_S),
+            );
+            s.name = format!("fig2_faults R={FAULT_REPLICAS} sync={ms}ms crash@{at}s");
+            scens.push(s);
+        }
+    }
+    scens
+}
+
+fn render_fig2_faults(scens: &[Scenario], reps: &[Reps]) -> String {
+    // Each sync cadence's baseline (crash-free) allocation share is the
+    // reference the crashed runs are banded against.
+    let mut rows = Vec::new();
+    let mut base_alloc = 0.0;
+    for (sc, rp) in scens.iter().zip(reps) {
+        let alloc = rp.est(|r| r.good_fraction());
+        let f = rp.base().failover.as_ref();
+        if f.is_none() {
+            base_alloc = alloc.mean;
+        }
+        let opt_secs = |v: Option<f64>| match v {
+            Some(s) => format!("{s:.2} s"),
+            None => "-".to_string(),
+        };
+        rows.push(vec![
+            format!("{} ms", sc.sync_period.as_nanos() / 1_000_000),
+            f.map_or("-".to_string(), |f| format!("{:.0} s", f.crash_at_s)),
+            frac_est(alloc),
+            f.map_or("-".to_string(), |_| {
+                format!("{:+.3}", alloc.mean - base_alloc)
+            }),
+            f.map_or("-".to_string(), |f| frac(f.outage_good_fraction())),
+            opt_secs(f.and_then(|f| f.time_to_failover_s())),
+            opt_secs(f.and_then(|f| f.time_to_recovery_s())),
+        ]);
+    }
+    format!(
+        "\nReplica failover: fig2 f=0.5, 1 of R={FAULT_REPLICAS} replicas crashes for \
+         {FAULT_DOWN_FOR_S} s (band ±{FAULT_GOODPUT_BAND})\n{}\
+         expected: survivors notice the silent digest within a few sync\n\
+         periods, absorb the dead replica's capacity share, and the\n\
+         good-client share of work completed during the outage stays\n\
+         within the band of the crash-free baseline; the restarted\n\
+         replica re-joins via its reset digest epoch.\n",
+        table(
+            &[
+                "sync",
+                "crash@",
+                "alloc good",
+                "vs baseline",
+                "outage good",
+                "t-failover",
+                "t-recover"
             ],
             &rows
         )
@@ -1169,11 +1284,37 @@ mod tests {
         assert_eq!(find("fig2_xl").unwrap().build_grid().len(), 1);
         // R=1 baseline + {2,4,8} x {10,100} ms.
         assert_eq!(find("fig2_replicated").unwrap().build_grid().len(), 7);
+        // Per sync cadence {10,100} ms: crash-free baseline + crash@{15,30} s.
+        assert_eq!(find("fig2_faults").unwrap().build_grid().len(), 6);
         assert_eq!(find("fig3").unwrap().build_grid().len(), 6);
         assert_eq!(find("fig6").unwrap().build_grid().len(), 1);
         assert_eq!(find("fig7").unwrap().build_grid().len(), 2);
         assert_eq!(find("fig8").unwrap().build_grid().len(), 3);
         assert_eq!(find("fig9").unwrap().build_grid().len(), 10);
         assert_eq!(find("min_capacity").unwrap().build_grid().len(), 8);
+    }
+
+    #[test]
+    fn fig2_faults_grid_carries_the_crash_specs() {
+        let grid = find("fig2_faults").unwrap().build_grid();
+        for s in &grid {
+            assert_eq!(s.thinners, FAULT_REPLICAS, "{}", s.name);
+            if s.name.contains("baseline") {
+                assert!(s.faults.is_empty(), "{} should be crash-free", s.name);
+            } else {
+                assert_eq!(s.faults.len(), 1, "{}", s.name);
+                assert!(
+                    matches!(
+                        s.faults[0],
+                        FaultSpec::ReplicaCrash {
+                            replica: FAULT_CRASH_REPLICA,
+                            ..
+                        }
+                    ),
+                    "{} should crash replica {FAULT_CRASH_REPLICA}",
+                    s.name
+                );
+            }
+        }
     }
 }

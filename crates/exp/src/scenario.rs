@@ -6,7 +6,7 @@
 
 use speakup_core::client::ClientProfile;
 use speakup_net::link::LinkConfig;
-use speakup_net::time::SimDuration;
+use speakup_net::time::{SimDuration, SimTime};
 
 /// Which thinner front end the run uses.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -122,6 +122,43 @@ pub struct BottleneckSpec {
     pub queue_packets: u64,
 }
 
+/// One deterministic fault to inject into a run.
+///
+/// Specs are declarative: the runner resolves them to concrete node and
+/// link ids after it builds the topology and hands the resulting
+/// [`speakup_net::fault::FaultSchedule`] to the simulator, so the same
+/// scenario injects the identical fault trace at every `--shards` count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// Crash thinner replica `replica` (0-based) at `at`; the node
+    /// restarts `down_for` later with freshly initialized app state.
+    /// Surviving replicas detect the digest silence after
+    /// [`Scenario::stale_after`] missed sync periods and absorb the
+    /// crashed replica's capacity share until it re-joins.
+    ReplicaCrash {
+        /// Replica index in `0..thinners`.
+        replica: u32,
+        /// Crash instant.
+        at: SimTime,
+        /// Outage length; the restart fires at `at + down_for`.
+        down_for: SimDuration,
+    },
+    /// Seed-derived random flaps on every client access uplink: each
+    /// link gets its own Poisson onset process (mean gap `mean_every`)
+    /// with exponential outages (mean `mean_down`), all streams keyed by
+    /// `seed` and the link id — independent of the scenario seed and of
+    /// the [`ClientSpec::lossy`] drop sampler, so loss-free goldens stay
+    /// byte-identical when no flaps are scheduled.
+    LinkFlaps {
+        /// Fault-stream seed (the CLI's `--fault-seed`).
+        seed: u64,
+        /// Mean gap between flap onsets per link.
+        mean_every: SimDuration,
+        /// Mean outage length per flap.
+        mean_down: SimDuration,
+    },
+}
+
 /// Fig 9 cross-traffic: a wget-style downloader sharing the bottleneck.
 #[derive(Clone, Copy, Debug)]
 pub struct WebSpec {
@@ -175,6 +212,13 @@ pub struct Scenario {
     /// Epoch cadence at which replicas exchange bid-delta digests
     /// (default 100 ms). Only meaningful when `thinners > 1`.
     pub sync_period: SimDuration,
+    /// Faults to inject (default none: the loss-free deterministic runs
+    /// every committed golden was produced from).
+    pub faults: Vec<FaultSpec>,
+    /// Failover sensitivity: a replica declares a peer stale — and
+    /// absorbs its capacity share — once the peer's digest epoch lags
+    /// its own by more than this many sync periods (default 3).
+    pub stale_after: u64,
 }
 
 impl Scenario {
@@ -194,6 +238,8 @@ impl Scenario {
             hub_subgroups_per_class: crate::runner::HUB_SUBGROUPS_PER_CLASS,
             thinners: 1,
             sync_period: SimDuration::from_millis(100),
+            faults: Vec::new(),
+            stale_after: 3,
         }
     }
 
@@ -258,6 +304,65 @@ impl Scenario {
     pub fn sync_period(mut self, p: SimDuration) -> Self {
         assert!(p.as_nanos() > 0, "sync period must be positive");
         self.sync_period = p;
+        self
+    }
+
+    /// Schedule a replica crash + restart (see [`FaultSpec::ReplicaCrash`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero outage (the crash and restart would race at the
+    /// same instant) or a replica index outside `0..thinners` — a typo'd
+    /// index would otherwise silently fault nothing.
+    pub fn crash_replica(mut self, replica: u32, at: SimTime, down_for: SimDuration) -> Self {
+        assert!(
+            replica < self.thinners,
+            "replica {replica} out of range: the scenario has {} thinner(s)",
+            self.thinners
+        );
+        assert!(down_for.as_nanos() > 0, "outage must be positive");
+        self.faults.push(FaultSpec::ReplicaCrash {
+            replica,
+            at,
+            down_for,
+        });
+        self
+    }
+
+    /// Schedule seed-derived flaps on every client access uplink (see
+    /// [`FaultSpec::LinkFlaps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive means: a zero onset gap would flap every
+    /// nanosecond and a zero outage would be a no-op pretending not to be.
+    pub fn link_flaps(
+        mut self,
+        seed: u64,
+        mean_every: SimDuration,
+        mean_down: SimDuration,
+    ) -> Self {
+        assert!(mean_every.as_nanos() > 0, "mean flap gap must be positive");
+        assert!(mean_down.as_nanos() > 0, "mean outage must be positive");
+        self.faults.push(FaultSpec::LinkFlaps {
+            seed,
+            mean_every,
+            mean_down,
+        });
+        self
+    }
+
+    /// Set the failover sensitivity (missed sync periods before a silent
+    /// peer is declared stale).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero: replicas publish *at* the sync cadence, so a
+    /// zero threshold would declare every peer stale between any two
+    /// digests and the cluster would flap in steady state.
+    pub fn stale_after(mut self, k: u64) -> Self {
+        assert!(k >= 1, "stale_after must be at least one sync period");
+        self.stale_after = k;
         self
     }
 
@@ -390,6 +495,47 @@ mod tests {
                 .access_loss,
             0.0
         );
+    }
+
+    #[test]
+    fn fault_builders_record_specs() {
+        let s = Scenario::new("t", 100.0, Mode::Auction)
+            .thinners(4)
+            .crash_replica(
+                1,
+                SimTime::from_nanos(15_000_000_000),
+                SimDuration::from_secs(10),
+            )
+            .link_flaps(7, SimDuration::from_secs(5), SimDuration::from_millis(200))
+            .stale_after(2);
+        assert_eq!(s.faults.len(), 2);
+        assert_eq!(
+            s.faults[0],
+            FaultSpec::ReplicaCrash {
+                replica: 1,
+                at: SimTime::from_nanos(15_000_000_000),
+                down_for: SimDuration::from_secs(10),
+            }
+        );
+        assert_eq!(s.stale_after, 2);
+        // Defaults: no faults, three missed syncs before failover.
+        let d = Scenario::new("d", 100.0, Mode::Auction);
+        assert!(d.faults.is_empty());
+        assert_eq!(d.stale_after, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn crash_replica_rejects_bad_index() {
+        let _ = Scenario::new("t", 100.0, Mode::Auction)
+            .thinners(2)
+            .crash_replica(2, SimTime::from_nanos(1), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sync period")]
+    fn stale_after_rejects_zero() {
+        let _ = Scenario::new("t", 100.0, Mode::Auction).stale_after(0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ const PRETEND_PATHS: &[(&str, &str)] = &[
     ("forbid_unsafe", "crates/fake/src/lib.rs"),
     ("unwrap", "crates/core/src/unwrap.rs"),
     ("annotation", "crates/net/src/annotation.rs"),
+    ("fault_module", "crates/net/src/fault_module.rs"),
 ];
 
 fn lint_fixture(kind: &str, stem: &str) -> Vec<Diagnostic> {
@@ -91,6 +92,50 @@ fn bad_annotation_unknown_rule_and_missing_reason_do_not_suppress() {
             ("cast", 8),
         ]
     );
+}
+
+#[test]
+fn bad_fault_module_flags_entropy_wall_clock_cast_and_hash_iter() {
+    // A fault-injection module is tempted by exactly these four: seeding
+    // from entropy, wall-clock onsets, bare casts of elapsed time, and
+    // iterating an unordered map of downed entities.
+    let d = lint_fixture("bad", "fault_module");
+    assert_eq!(
+        rule_lines(&d),
+        vec![
+            ("entropy-rng", 11),
+            ("wall-clock", 16),
+            ("cast", 17),
+            ("hash-iter", 22),
+        ]
+    );
+}
+
+/// The real fault-path modules — net-layer schedule/injection, the
+/// digest staleness protocol, and the exp-layer failover wiring — stay
+/// individually lint-clean, not just absorbed into the workspace sweep.
+#[test]
+fn fault_modules_are_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    for rel in [
+        "crates/net/src/fault.rs",
+        "crates/core/src/thinner/digest.rs",
+        "crates/exp/src/scenario.rs",
+        "crates/exp/src/agents/thinner.rs",
+        "crates/exp/src/runner.rs",
+    ] {
+        let src = std::fs::read_to_string(root.join(rel))
+            .unwrap_or_else(|e| panic!("reading {rel}: {e}"));
+        let d = lint_source(rel, &src);
+        assert!(
+            d.is_empty(),
+            "{rel} has lint violations: {:?}",
+            rule_lines(&d)
+        );
+    }
 }
 
 #[test]

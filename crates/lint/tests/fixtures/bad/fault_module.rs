@@ -1,0 +1,27 @@
+//! A fault schedule built every way the determinism rules forbid —
+//! each violation here is what `crates/net/src/fault.rs` must never do.
+use std::collections::HashMap;
+
+pub struct FlakySchedule {
+    pub down_until: HashMap<u64, u64>,
+}
+
+impl FlakySchedule {
+    pub fn entropy_seed() -> u64 {
+        let mut rng = rand::thread_rng();
+        rng.next_u64()
+    }
+
+    pub fn wall_clock_onset() -> u64 {
+        let started = std::time::Instant::now();
+        started.elapsed().as_nanos() as u64
+    }
+
+    pub fn total_outage(&self) -> u64 {
+        let mut sum = 0;
+        for (_link, until) in &self.down_until {
+            sum += until;
+        }
+        sum
+    }
+}

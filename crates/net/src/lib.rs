@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod link;
 pub mod packet;

@@ -146,6 +146,9 @@ pub struct LinkStats {
     pub drops_overflow: u64,
     /// Packets dropped by fault injection.
     pub drops_fault: u64,
+    /// Packets dropped because the link was down (offered, queued, or in
+    /// flight during a scheduled flap).
+    pub drops_down: u64,
     /// High-water mark of queued bytes.
     pub max_queued_bytes: u64,
 }
@@ -161,6 +164,13 @@ pub struct Link {
     queued_bytes: u64,
     /// Packet currently on the wire, if any.
     in_flight: Option<Packet>,
+    /// Nesting depth of scheduled outages ([`Link::take_down`] /
+    /// [`Link::bring_up`]); the link carries packets only at depth 0.
+    down_depth: u32,
+    /// Set when an outage strikes mid-transmission: the in-flight packet
+    /// finishes serializing (its `TxDone` event is already scheduled) but
+    /// must be discarded instead of delivered.
+    doomed_in_flight: bool,
     /// Last `(size, transmission time)` computed: wire sizes repeat
     /// (full segments, pure ACKs), and the memo turns the 128-bit
     /// division in [`SimDuration::transmission`] into a compare.
@@ -195,6 +205,8 @@ impl Link {
             queue: VecDeque::with_capacity(cap),
             queued_bytes: 0,
             in_flight: None,
+            down_depth: 0,
+            doomed_in_flight: false,
             tx_memo: (0, SimDuration::ZERO),
             stats: LinkStats::default(),
         }
@@ -202,7 +214,16 @@ impl Link {
 
     /// Offer a packet to the link. `fault_roll` is a uniform [0,1) sample
     /// used for fault injection (passed in so the link itself holds no RNG).
+    ///
+    /// Callers must check [`Link::is_up`] *before* drawing `fault_roll`
+    /// for a lossy link — a downed link drops without consuming the
+    /// loss stream — but the guard here keeps a missed check from
+    /// teleporting packets across an outage.
     pub fn enqueue(&mut self, packet: Packet, fault_roll: f64) -> Enqueue {
+        if self.down_depth > 0 {
+            self.stats.drops_down += 1;
+            return Enqueue::Dropped;
+        }
         if self.cfg.drop_prob > 0.0 && fault_roll < self.cfg.drop_prob {
             self.stats.drops_fault += 1;
             return Enqueue::Dropped;
@@ -247,6 +268,52 @@ impl Link {
             self.tx_memo = (bytes, SimDuration::transmission(bytes, self.cfg.rate_bps));
         }
         self.tx_memo.1
+    }
+
+    /// Whether the link is currently carrying packets (no outage active).
+    pub fn is_up(&self) -> bool {
+        self.down_depth == 0
+    }
+
+    /// Start an outage: flush the queue (counting each packet as a
+    /// down-drop) and doom the in-flight packet, whose already-scheduled
+    /// `TxDone` will discard it via [`Link::take_doomed`]. Outages nest —
+    /// overlapping schedule entries keep the link down until every one
+    /// has ended. Returns the number of queued packets flushed.
+    pub fn take_down(&mut self) -> u64 {
+        self.down_depth += 1;
+        let flushed = u64::try_from(self.queue.len()).expect("queue length fits u64");
+        self.queue.clear();
+        self.queued_bytes = 0;
+        self.stats.drops_down += flushed;
+        if self.in_flight.is_some() {
+            self.doomed_in_flight = true;
+        }
+        flushed
+    }
+
+    /// End one outage (the link comes back up when the last overlapping
+    /// outage ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is not down — an unmatched `bring_up` is a
+    /// scheduling bug.
+    pub fn bring_up(&mut self) {
+        assert!(self.down_depth > 0, "bring_up on a link that is not down");
+        self.down_depth -= 1;
+    }
+
+    /// Whether the packet just returned by [`Link::tx_done`] was doomed
+    /// by an outage and must be dropped instead of delivered. Clears the
+    /// doomed flag and counts the drop.
+    pub fn take_doomed(&mut self) -> bool {
+        if self.doomed_in_flight {
+            self.doomed_in_flight = false;
+            self.stats.drops_down += 1;
+            return true;
+        }
+        false
     }
 
     /// Bytes currently waiting in the queue (excludes the in-flight packet).
@@ -400,6 +467,73 @@ mod tests {
                 assert_eq!(sampler.offer(), expect, "p={p} packet {i}");
             }
         }
+    }
+
+    #[test]
+    fn downed_link_drops_without_consuming_the_fault_roll() {
+        let mut l = Link::new(
+            LinkConfig::new(8_000, SimDuration::ZERO).drop_prob(0.5),
+            NodeId(1),
+        );
+        l.take_down();
+        assert!(!l.is_up());
+        // A roll that would survive fault injection still drops: the
+        // outage guard runs first (and callers skip the sampler anyway).
+        assert_eq!(l.enqueue(pkt(100), 0.9), Enqueue::Dropped);
+        assert_eq!(l.stats.drops_down, 1);
+        assert_eq!(l.stats.drops_fault, 0);
+        l.bring_up();
+        assert!(l.is_up());
+        assert!(matches!(l.enqueue(pkt(100), 0.9), Enqueue::StartTx(_)));
+    }
+
+    #[test]
+    fn take_down_flushes_queue_and_dooms_in_flight() {
+        let mut l = Link::new(LinkConfig::new(8_000, SimDuration::ZERO), NodeId(1));
+        assert!(matches!(l.enqueue(pkt(1000), 1.0), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(pkt(500), 1.0), Enqueue::Queued);
+        assert_eq!(l.enqueue(pkt(500), 1.0), Enqueue::Queued);
+        assert_eq!(l.take_down(), 2, "both queued packets flushed");
+        assert_eq!(l.queued_bytes(), 0);
+        assert_eq!(l.stats.drops_down, 2);
+        // The in-flight packet finishes serializing but is discarded.
+        let (done, next) = l.tx_done();
+        assert_eq!(done.size, 1000);
+        assert!(next.is_none(), "queue was flushed");
+        assert!(l.take_doomed(), "in-flight packet was doomed");
+        assert_eq!(l.stats.drops_down, 3);
+        assert!(!l.take_doomed(), "doom flag is one-shot");
+    }
+
+    #[test]
+    fn doomed_in_flight_drops_even_if_link_recovered_first() {
+        let mut l = Link::new(LinkConfig::new(8_000, SimDuration::ZERO), NodeId(1));
+        assert!(matches!(l.enqueue(pkt(1000), 1.0), Enqueue::StartTx(_)));
+        l.take_down();
+        l.bring_up();
+        let (_done, _next) = l.tx_done();
+        assert!(
+            l.take_doomed(),
+            "a packet on the wire during any outage is lost"
+        );
+    }
+
+    #[test]
+    fn overlapping_outages_nest() {
+        let mut l = Link::new(LinkConfig::new(8_000, SimDuration::ZERO), NodeId(1));
+        l.take_down();
+        l.take_down();
+        l.bring_up();
+        assert!(!l.is_up(), "still inside the first outage");
+        l.bring_up();
+        assert!(l.is_up());
+    }
+
+    #[test]
+    #[should_panic(expected = "bring_up on a link that is not down")]
+    fn unmatched_bring_up_panics() {
+        let mut l = Link::new(LinkConfig::new(8_000, SimDuration::ZERO), NodeId(1));
+        l.bring_up();
     }
 
     #[test]

@@ -52,6 +52,7 @@
 //!   and `K = 4` see identical timelines.
 
 use crate::event::{EventHandle, EventQueue};
+use crate::fault::{FaultKind, FaultSchedule};
 use crate::ids::Ident;
 use crate::link::{DropSampler, Enqueue, Link, LinkStats};
 use crate::packet::{FlowId, LinkId, NodeId, Packet, PacketKind, FLOW_NTH_BITS};
@@ -102,6 +103,13 @@ pub trait App: Any + Send {
     fn on_control(&mut self, ctx: &mut Ctx, src: NodeId, payload: &[u64]) {
         let _ = (ctx, src, payload);
     }
+    /// The node restarted after a crash (fault injection). Every timer,
+    /// flow, and watch the node held is gone; the default keeps the old
+    /// in-memory state, so apps that must re-initialize override this to
+    /// reset themselves and re-arm their timers.
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        let _ = ctx;
+    }
 }
 
 /// A family of applications the simulator dispatches to without virtual
@@ -132,6 +140,8 @@ pub trait AppSet: Send + 'static {
     fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId);
     /// Forward of [`App::on_control`].
     fn on_control(&mut self, ctx: &mut Ctx, src: NodeId, payload: &[u64]);
+    /// Forward of [`App::on_restart`].
+    fn on_restart(&mut self, ctx: &mut Ctx);
     /// The wrapped application as `Any`, for downcasting.
     fn as_any(&self) -> &dyn Any;
     /// Mutable variant of [`AppSet::as_any`].
@@ -169,6 +179,9 @@ impl AppSet for Box<dyn App> {
     }
     fn on_control(&mut self, ctx: &mut Ctx, src: NodeId, payload: &[u64]) {
         (**self).on_control(ctx, src, payload)
+    }
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        (**self).on_restart(ctx)
     }
     fn as_any(&self) -> &dyn Any {
         &**self as &dyn Any
@@ -235,6 +248,16 @@ fn lane_ctl(f: FlowId) -> u64 {
 fn lane_app_ctl(src: NodeId) -> u64 {
     (4 << 32) | u64::from(src.0)
 }
+// Fault events get two lane classes of their own (injected pre-run into
+// the owning shard's queue). Links and nodes must not share a class: a
+// link and a node with equal indices can be owned by different shards,
+// and a lane written by two shards would break per-lane order invariance.
+fn lane_fault_link(l: LinkId) -> u64 {
+    (5 << 32) | u64::from(l.0)
+}
+fn lane_fault_node(n: NodeId) -> u64 {
+    (6 << 32) | u64::from(n.0)
+}
 
 /// Lazily re-armed retransmission timer for one flow (see the
 /// `rto_timers` field). Invariant while armed: some wheel sentinel is
@@ -263,6 +286,10 @@ enum Event {
     AppTimer {
         node: NodeId,
         token: u64,
+        /// The node incarnation that armed the timer: a restart bumps the
+        /// node's incarnation, so timers armed before a crash silently
+        /// die instead of firing into the reborn app.
+        incarnation: u32,
     },
     Rto(FlowId),
     /// Control record: `src` opened `id` toward `dst`; create the
@@ -295,6 +322,19 @@ enum Event {
         node: NodeId,
         src: NodeId,
         payload: Box<[u64]>,
+    },
+    /// Injected link fault boundary: the link goes down (`up == false`,
+    /// flushing its queue and dooming any packet in flight) or recovers.
+    LinkFault {
+        link: LinkId,
+        up: bool,
+    },
+    /// Injected node fault boundary: the node crashes (`up == false`,
+    /// aborting its flows and killing its timers and watches) or
+    /// restarts (bumping its incarnation and firing [`App::on_restart`]).
+    NodeFault {
+        node: NodeId,
+        up: bool,
     },
 }
 
@@ -331,6 +371,9 @@ enum Notify {
         src: NodeId,
         payload: Box<[u64]>,
     },
+    Restarted {
+        node: NodeId,
+    },
 }
 
 /// Everything one shard owns of the simulated world: its nodes' state,
@@ -352,7 +395,18 @@ pub struct World {
     /// sequence — and every golden — is unchanged.
     link_faults: Vec<Option<DropSampler>>,
     node_rngs: Vec<Option<Pcg32>>,
-    /// Flows opened per node, for canonical id allocation.
+    /// Per-node crash nesting depth (fault injection): a node is down
+    /// while its depth is positive. A depth rather than a flag so two
+    /// overlapping scheduled outages compose sanely — the node is up
+    /// again only when every outage has ended.
+    crash_depth: Vec<u32>,
+    /// Per-node restart counter: bumped when a node comes back up, so
+    /// timers armed before the crash (stamped with the old incarnation)
+    /// die silently instead of firing into the reborn app.
+    incarnations: Vec<u32>,
+    /// Flows opened per node, for canonical id allocation. Deliberately
+    /// preserved across crashes: flow ids are never reused, so a reborn
+    /// node's flows cannot alias a pre-crash peer half.
     flow_counts: Vec<u32>,
     /// Sender halves of flows whose source this shard owns, in dense
     /// slabs indexed by the packed [`FlowId`] (O(1) per-packet lookup).
@@ -439,6 +493,8 @@ impl World {
             links,
             link_faults,
             node_rngs,
+            crash_depth: vec![0; n],
+            incarnations: vec![0; n],
             flow_counts: vec![0; n],
             flows_tx: FlowSlab::new(n),
             flows_rx: FlowSlab::new(n),
@@ -566,11 +622,23 @@ impl World {
             .topology
             .next_hop(at, packet.dst)
             .unwrap_or_else(|| panic!("no route {at} -> {}", packet.dst));
-        // Loss-free links (the overwhelmingly common case) skip fault
+        // A downed link never consults its loss sampler: the batched
+        // Bernoulli stream must consume exactly one roll per *offered*
+        // packet regardless of the fault schedule, so loss-free goldens
+        // stay byte-identical when flaps are layered on.
+        let up = self.links[lid.index()]
+            .as_ref()
+            .expect("routing over a link this shard does not own")
+            .is_up();
+        // Loss-free links (the overwhelmingly common case) skip loss
         // sampling entirely; lossy links consult their batched sampler.
-        let dropped = match self.link_faults[lid.index()].as_mut() {
-            Some(sampler) => sampler.offer(),
-            None => false,
+        let dropped = if up {
+            match self.link_faults[lid.index()].as_mut() {
+                Some(sampler) => sampler.offer(),
+                None => false,
+            }
+        } else {
+            false
         };
         let link = self.links[lid.index()]
             .as_mut()
@@ -747,22 +815,49 @@ impl World {
                     self.queue
                         .push_lane(self.now + tx, lane_link(lid), Event::TxDone(lid));
                 }
-                self.schedule(
-                    self.now + delay,
-                    lane_link(lid),
-                    Event::Arrive { node: dst, packet },
-                    self.shard_of(dst),
-                );
+                // A flap mid-transmission dooms the packet on the wire:
+                // it finishes serializing (the link stays busy) but never
+                // arrives. The queue behind it was flushed at flap time,
+                // though the link may have re-filled if it already came
+                // back up — hence the unconditional next-TxDone above.
+                if self.links[lid.index()]
+                    .as_mut()
+                    .expect("owned link")
+                    .take_doomed()
+                {
+                    self.total_drops += 1;
+                } else {
+                    self.schedule(
+                        self.now + delay,
+                        lane_link(lid),
+                        Event::Arrive { node: dst, packet },
+                        self.shard_of(dst),
+                    );
+                }
             }
             Event::Arrive { node, packet } => {
-                if node == packet.dst {
+                if self.crash_depth[node.index()] > 0 {
+                    // A crashed node neither terminates nor forwards.
+                    self.total_drops += 1;
+                } else if node == packet.dst {
                     self.receive(packet);
                 } else {
                     self.route_packet(node, packet);
                 }
             }
-            Event::AppTimer { node, token } => {
-                self.notifies.push_back(Notify::Timer { node, token });
+            Event::AppTimer {
+                node,
+                token,
+                incarnation,
+            } => {
+                // Timers die with their incarnation: armed pre-crash →
+                // stale stamp; armed pre-crash but popping mid-outage →
+                // crash depth. Either way, silence.
+                if incarnation == self.incarnations[node.index()]
+                    && self.crash_depth[node.index()] == 0
+                {
+                    self.notifies.push_back(Notify::Timer { node, token });
+                }
             }
             Event::Rto(fid) => {
                 // Sentinel pop: fire only if it reached the armed
@@ -818,10 +913,74 @@ impl World {
                 self.notifies.push_back(Notify::Aborted { node, flow: id });
             }
             Event::AppControl { node, src, payload } => {
-                self.notifies
-                    .push_back(Notify::Control { node, src, payload });
+                if self.crash_depth[node.index()] == 0 {
+                    self.notifies
+                        .push_back(Notify::Control { node, src, payload });
+                }
+            }
+            Event::LinkFault { link, up } => {
+                let l = self.links[link.index()]
+                    .as_mut()
+                    .expect("fault for a link this shard does not own");
+                if up {
+                    l.bring_up();
+                } else {
+                    self.total_drops += l.take_down();
+                }
+            }
+            Event::NodeFault { node, up } => {
+                let i = node.index();
+                if up {
+                    assert!(self.crash_depth[i] > 0, "restart of a node that is up");
+                    self.crash_depth[i] -= 1;
+                    if self.crash_depth[i] == 0 {
+                        self.incarnations[i] += 1;
+                        self.notifies.push_back(Notify::Restarted { node });
+                    }
+                } else {
+                    self.crash_depth[i] += 1;
+                    if self.crash_depth[i] == 1 {
+                        self.crash_node(node);
+                    }
+                }
             }
         }
+    }
+
+    /// Crash-time sweep: abort every flow anchored on `node` (peers learn
+    /// via the usual delayed abort records) and purge its flow watches so
+    /// nothing credits progress to a dead watcher.
+    fn crash_node(&mut self, node: NodeId) {
+        // Sender halves live in the crashing node's own slab lane;
+        // receiver halves require a scan (any node may have opened
+        // toward us). Collect first — aborting mutates the slabs' flows.
+        // The two sets cannot overlap: tx ids were opened by `node`
+        // (its id in the high bits), rx ids by some peer.
+        let mut dead: Vec<FlowId> = self
+            .flows_tx
+            .node_iter(node)
+            .filter_map(|(id, f)| (!f.is_aborted()).then_some(id))
+            .collect();
+        for (id, f) in self.flows_rx.iter() {
+            if f.dst == node && !f.is_aborted() {
+                dead.push(id);
+            }
+        }
+        for id in dead {
+            self.abort_flow_from(node, id);
+        }
+        // Watches held by the crashed node die with it; drop their queued
+        // progress entries too, so a reborn watcher starts clean.
+        let stale: Vec<FlowId> = self
+            .watch_rx
+            .iter()
+            .filter_map(|(id, (watcher, _))| (*watcher == node).then_some(id))
+            .collect();
+        for id in stale {
+            self.watch_rx.take(id);
+        }
+        let watch_rx = &self.watch_rx;
+        self.progress_rx.retain(|&fid| watch_rx.get(fid).is_some());
     }
 
     fn receive(&mut self, packet: Packet) {
@@ -938,6 +1097,7 @@ impl<'a> Ctx<'a> {
             Event::AppTimer {
                 node: self.node,
                 token,
+                incarnation: self.world.incarnations[self.node.index()],
             },
         );
         TimerHandle(h)
@@ -1068,6 +1228,20 @@ impl<S: AppSet> Shard<S> {
 
     fn dispatch_notifies(&mut self) {
         while let Some(n) = self.world.notifies.pop_front() {
+            // Callbacks never reach a crashed app: the event arms guard
+            // their own enqueues, but a crash sweep can queue callbacks
+            // (e.g. abort echoes) addressed to the node that just died.
+            let target = match n {
+                Notify::Message { node, .. }
+                | Notify::Timer { node, .. }
+                | Notify::Drained { node, .. }
+                | Notify::Aborted { node, .. }
+                | Notify::Control { node, .. }
+                | Notify::Restarted { node } => node,
+            };
+            if self.world.crash_depth[target.index()] > 0 {
+                continue;
+            }
             match n {
                 Notify::Message { node, flow, tag } => {
                     self.with_app(node, |a, ctx| a.on_message(ctx, flow, tag));
@@ -1083,6 +1257,12 @@ impl<S: AppSet> Shard<S> {
                 }
                 Notify::Control { node, src, payload } => {
                     self.with_app(node, |a, ctx| a.on_control(ctx, src, &payload));
+                }
+                Notify::Restarted { node } => {
+                    // Nodes without an app (pure routers) restart silently.
+                    if self.apps[node.index()].is_some() {
+                        self.with_app(node, |a, ctx| a.on_restart(ctx));
+                    }
                 }
             }
         }
@@ -1132,6 +1312,23 @@ struct SpinBarrier {
     poisoned: std::sync::atomic::AtomicBool,
     lock: Mutex<()>,
     cv: std::sync::Condvar,
+    /// How long a parked waiter tolerates peer silence before reporting
+    /// [`BarrierWait::TimedOut`]. Wall-clock, not sim-time: the hang
+    /// mode this guards against (a peer shard that stopped advancing)
+    /// never reaches another simulated instant.
+    watchdog: std::time::Duration,
+}
+
+/// Outcome of one [`SpinBarrier::wait`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BarrierWait {
+    /// All peers arrived; proceed with the window protocol.
+    Released,
+    /// A peer panicked and poisoned the barrier; bail out quietly.
+    Poisoned,
+    /// No release within the watchdog deadline: some peer shard has
+    /// stopped advancing. The caller dumps diagnostics and aborts.
+    TimedOut,
 }
 
 /// Shard threads currently live across *all* simulators in the process,
@@ -1141,8 +1338,9 @@ static LIVE_SHARD_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 impl SpinBarrier {
     /// `n` waiters, with `live_threads` shard threads running
-    /// process-wide (including these `n`).
-    fn new(n: usize, live_threads: usize) -> Self {
+    /// process-wide (including these `n`), and a `watchdog` deadline on
+    /// every parked wait.
+    fn new(n: usize, live_threads: usize, watchdog: std::time::Duration) -> Self {
         let cores = std::thread::available_parallelism()
             .map(|c| c.get())
             .unwrap_or(1);
@@ -1154,15 +1352,26 @@ impl SpinBarrier {
             poisoned: std::sync::atomic::AtomicBool::new(false),
             lock: Mutex::new(()),
             cv: std::sync::Condvar::new(),
+            watchdog,
         }
     }
 
-    /// Wait for all `n` threads. Returns `false` if the barrier was
-    /// poisoned by a panicking peer — the caller must bail out rather
-    /// than continue the window protocol.
-    fn wait(&self) -> bool {
+    /// Wait for all `n` threads, with a deadline: a waiter parked past
+    /// the watchdog reports [`BarrierWait::TimedOut`] instead of
+    /// sleeping forever behind a wedged peer.
+    // The clock here observes the *host*, never the simulation: timer
+    // expiry only happens on the already-lost hang path.
+    #[allow(clippy::disallowed_methods)] // see clippy.toml: watchdog deadline needs Instant
+    fn wait(&self) -> BarrierWait {
+        let verdict = |poisoned: bool| {
+            if poisoned {
+                BarrierWait::Poisoned
+            } else {
+                BarrierWait::Released
+            }
+        };
         if self.poisoned.load(Ordering::Acquire) {
-            return false;
+            return BarrierWait::Poisoned;
         }
         let gen = self.generation.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
@@ -1176,16 +1385,30 @@ impl SpinBarrier {
         } else {
             for _ in 0..self.spin_budget {
                 if self.generation.load(Ordering::Acquire) != gen {
-                    return !self.poisoned.load(Ordering::Acquire);
+                    return verdict(self.poisoned.load(Ordering::Acquire));
                 }
                 std::hint::spin_loop();
             }
+            // lint: allow(wall-clock) — watchdog deadline over host time; fires only on the hang path
+            let deadline = std::time::Instant::now() + self.watchdog;
             let mut guard = self.lock.lock().expect("barrier lock poisoned");
             while self.generation.load(Ordering::Acquire) == gen {
-                guard = self.cv.wait(guard).expect("barrier wait poisoned");
+                // lint: allow(wall-clock) — remaining watchdog budget, host time (see above)
+                let now = std::time::Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return BarrierWait::TimedOut;
+                };
+                guard = self
+                    .cv
+                    .wait_timeout(guard, left)
+                    .expect("barrier wait poisoned")
+                    .0;
             }
         }
-        !self.poisoned.load(Ordering::Acquire)
+        verdict(self.poisoned.load(Ordering::Acquire))
     }
 
     /// Mark the barrier dead after a panic and release every waiter, so
@@ -1225,6 +1448,22 @@ pub struct Simulator<S: AppSet = Box<dyn App>> {
     inboxes: Vec<Mutex<Vec<Remote>>>,
     /// Per-shard next-event times published at the window barrier.
     next_times: Vec<AtomicU64>,
+    /// Per-shard progress counters for the barrier watchdog's dump.
+    diag: Vec<ShardDiag>,
+    /// Deadline on every parked barrier wait: a peer silent this long is
+    /// declared wedged and the run aborts with a per-shard dump instead
+    /// of hanging forever.
+    barrier_watchdog: std::time::Duration,
+}
+
+/// What each shard last published about its own progress, readable by
+/// whichever shard's watchdog fires (hence atomics).
+#[derive(Default)]
+struct ShardDiag {
+    /// End of the last lookahead window the shard processed (ns).
+    window_end: AtomicU64,
+    /// Events the shard has processed so far.
+    events: AtomicU64,
 }
 
 impl Simulator {
@@ -1283,6 +1522,54 @@ impl<S: AppSet> Simulator<S> {
             lookahead,
             inboxes: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
             next_times: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+            diag: (0..num_shards).map(|_| ShardDiag::default()).collect(),
+            barrier_watchdog: std::time::Duration::from_secs(60),
+        }
+    }
+
+    /// Override the barrier watchdog deadline (default 60 s of host
+    /// time). Tests drop it to milliseconds; huge oversubscribed batch
+    /// runs may need to raise it.
+    pub fn set_barrier_watchdog(&mut self, deadline: std::time::Duration) {
+        self.barrier_watchdog = deadline;
+    }
+
+    /// Inject a fault schedule: every entry becomes a down/up event pair
+    /// on the owning shard's queue, on a dedicated fault lane, so faults
+    /// land in the canonical `(time, lane, seq)` order and `--shards K`
+    /// byte-identity holds under faults. Call before running past any
+    /// entry's onset (injection into the past is a schedule bug).
+    pub fn inject_faults(&mut self, schedule: &FaultSchedule) {
+        let topology = Arc::clone(&self.shards[0].world.topology);
+        for e in schedule.entries() {
+            let (owner, lane) = match e.kind {
+                FaultKind::LinkDown(link) => {
+                    let from = topology.edges()[link.index()].from;
+                    (self.assignment[from.index()], lane_fault_link(link))
+                }
+                FaultKind::NodeCrash(node) => {
+                    (self.assignment[node.index()], lane_fault_node(node))
+                }
+            };
+            let world = &mut self.shards[shard_idx(owner)].world;
+            assert!(
+                e.at >= world.now,
+                "fault at {:?} injected after the clock reached {:?}",
+                e.at,
+                world.now
+            );
+            let (down, up) = match e.kind {
+                FaultKind::LinkDown(link) => (
+                    Event::LinkFault { link, up: false },
+                    Event::LinkFault { link, up: true },
+                ),
+                FaultKind::NodeCrash(node) => (
+                    Event::NodeFault { node, up: false },
+                    Event::NodeFault { node, up: true },
+                ),
+            };
+            world.queue.push_lane(e.at, lane, down);
+            world.queue.push_lane(e.up_at(), lane, up);
         }
     }
 
@@ -1451,8 +1738,9 @@ impl<S: AppSet> Simulator<S> {
         let n = self.shards.len();
         let lookahead: &[u64] = &self.lookahead;
         let live = LIVE_SHARD_THREADS.fetch_add(n, Ordering::SeqCst) + n;
-        let barrier = SpinBarrier::new(n, live);
+        let barrier = SpinBarrier::new(n, live, self.barrier_watchdog);
         let barrier = &barrier;
+        let diag: &[ShardDiag] = &self.diag;
         // The exchange buffers live on the Simulator and are recycled
         // across calls — no per-call (or per-window) reallocation.
         let inboxes: &[Mutex<Vec<Remote>>] = &self.inboxes;
@@ -1472,7 +1760,7 @@ impl<S: AppSet> Simulator<S> {
                         // through the join below.
                         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             Self::run_shard_loop(
-                                i, shard, until, lookahead, barrier, inboxes, next_times,
+                                i, shard, until, lookahead, barrier, inboxes, next_times, diag,
                             )
                         }));
                         if let Err(panic) = run {
@@ -1499,6 +1787,48 @@ impl<S: AppSet> Simulator<S> {
         }
     }
 
+    /// One barrier crossing, watchdog-checked: `true` to continue the
+    /// window protocol, `false` to bail out quietly (poisoned peer). A
+    /// watchdog expiry dumps every shard's published progress — the
+    /// evidence for diagnosing *which* peer wedged and where — then
+    /// panics, which poisons the barrier for the survivors.
+    fn barrier_sync(
+        i: usize,
+        barrier: &SpinBarrier,
+        lookahead: &[u64],
+        next_times: &[AtomicU64],
+        diag: &[ShardDiag],
+    ) -> bool {
+        match barrier.wait() {
+            BarrierWait::Released => true,
+            BarrierWait::Poisoned => false,
+            BarrierWait::TimedOut => {
+                let n = next_times.len();
+                eprintln!("barrier watchdog: shard {i} saw no release within the deadline");
+                for (j, d) in diag.iter().enumerate() {
+                    let next = next_times[j].load(Ordering::SeqCst);
+                    let next = if next == u64::MAX {
+                        "idle".to_string()
+                    } else {
+                        format!("{:?}", SimTime::from_nanos(next))
+                    };
+                    let la = lookahead[j * n + i];
+                    let la = if la == NO_INTERACTION {
+                        "-".to_string()
+                    } else {
+                        format!("{:?}", SimDuration::from_nanos(la))
+                    };
+                    eprintln!(
+                        "  shard {j}: next_event={next} window_end={:?} events={} lookahead[{j}->{i}]={la}",
+                        SimTime::from_nanos(d.window_end.load(Ordering::SeqCst)),
+                        d.events.load(Ordering::SeqCst),
+                    );
+                }
+                panic!("barrier watchdog expired — a peer shard stopped advancing");
+            }
+        }
+    }
+
     /// One shard thread's window loop (see [`Simulator::run_until`]).
     #[allow(clippy::too_many_arguments)]
     fn run_shard_loop(
@@ -1509,6 +1839,7 @@ impl<S: AppSet> Simulator<S> {
         barrier: &SpinBarrier,
         inboxes: &[Mutex<Vec<Remote>>],
         next_times: &[AtomicU64],
+        diag: &[ShardDiag],
     ) {
         let n = inboxes.len();
         shard.start_apps();
@@ -1528,7 +1859,7 @@ impl<S: AppSet> Simulator<S> {
                 let mut inbox = slot.lock().expect("inbox poisoned");
                 inbox.append(&mut shard.world.outboxes[dest]);
             }
-            if !barrier.wait() {
+            if !Self::barrier_sync(i, barrier, lookahead, next_times, diag) {
                 return;
             }
 
@@ -1554,7 +1885,7 @@ impl<S: AppSet> Simulator<S> {
                 .peek_time()
                 .map_or(u64::MAX, SimTime::as_nanos);
             next_times[i].store(next, Ordering::SeqCst);
-            if !barrier.wait() {
+            if !Self::barrier_sync(i, barrier, lookahead, next_times, diag) {
                 return;
             }
             // This shard's window ends where the earliest event another
@@ -1580,7 +1911,11 @@ impl<S: AppSet> Simulator<S> {
                 break;
             }
             let window_end = SimTime::from_nanos(bound);
+            diag[i].window_end.store(bound, Ordering::SeqCst);
             shard.process_window(window_end, until);
+            diag[i]
+                .events
+                .store(shard.world.events_processed, Ordering::SeqCst);
             let advanced = window_end.min(until);
             if advanced > shard.world.now {
                 shard.world.now = advanced;
@@ -2275,5 +2610,344 @@ mod tests {
         let z = b.node();
         b.duplex(a, z, LinkConfig::new(1_000_000, SimDuration::ZERO));
         Simulator::new_sharded(b.build(), 1, vec![0, 1]);
+    }
+
+    // ------------------------------------------------ fault injection
+
+    #[test]
+    fn link_flap_drops_traffic_and_transfer_recovers() {
+        // A bulk transfer over a link that dies for 2 s mid-flight: the
+        // flap must drop packets (queue flush + doomed in-flight), the
+        // loss must be attributed to the flap, and the transport must
+        // still complete the transfer after recovery.
+        let mut b = TopologyBuilder::new();
+        let a = b.node();
+        let z = b.node();
+        let (fwd, _rev) = b.duplex(
+            a,
+            z,
+            LinkConfig::new(2_000_000, SimDuration::from_millis(10)),
+        );
+        let mut sim = Simulator::new(b.build(), 71);
+        sim.add_app(
+            a,
+            Box::new(Sender {
+                dst: z,
+                bytes: 2_000_000,
+                flow: None,
+                drained_at: None,
+            }),
+        );
+        sim.add_app(z, Box::new(Receiver::default()));
+        let mut faults = FaultSchedule::new();
+        faults.link_down(SimTime::from_secs(3), fwd, SimDuration::from_secs(2));
+        sim.inject_faults(&faults);
+        sim.run_until(SimTime::from_secs(60));
+        let stats = sim.world().link_stats(fwd);
+        assert!(stats.drops_down > 0, "flap must drop packets");
+        assert!(sim.total_drops() >= stats.drops_down);
+        let done = sim
+            .app::<Sender>(a)
+            .expect("invariant: Sender installed on a")
+            .drained_at
+            .expect("transfer must finish after the link recovers");
+        // Loss-free the transfer takes ~8.2 s; the 2 s hole plus the
+        // retransmission backoff push it past 10 s but it must converge.
+        assert!(done > SimTime::from_secs(10), "flap had no effect: {done}");
+    }
+
+    #[test]
+    fn link_flap_leaves_loss_sampler_stream_untouched() {
+        // On a lossy link, the Bernoulli stream must consume one roll
+        // per *offered* packet whether or not a flap is layered on. Run
+        // the same workload with and without a flap and compare the
+        // post-recovery drop pattern indirectly: total sampled drops
+        // (overall drops minus flap-attributed drops) must evolve from
+        // the same stream, so the faulted run's sampled drops never
+        // exceed what the sampler drew in the clean run by more than
+        // the extra packets retransmission generates. The cheap, exact
+        // check: a flap on a *loss-free* link must not panic or drop
+        // anything once it is back up, and a clean rerun is identical.
+        let run = |flap: bool| {
+            let mut b = TopologyBuilder::new();
+            let a = b.node();
+            let z = b.node();
+            let (fwd, _) = b.duplex(
+                a,
+                z,
+                LinkConfig::new(5_000_000, SimDuration::from_millis(5)).drop_prob(0.05),
+            );
+            let mut sim = Simulator::new(b.build(), 4);
+            sim.add_app(
+                a,
+                Box::new(Sender {
+                    dst: z,
+                    bytes: 500_000,
+                    flow: None,
+                    drained_at: None,
+                }),
+            );
+            sim.add_app(z, Box::new(Receiver::default()));
+            if flap {
+                let mut faults = FaultSchedule::new();
+                faults.link_down(SimTime::from_secs(1), fwd, SimDuration::from_millis(500));
+                sim.inject_faults(&faults);
+            }
+            sim.run_until(SimTime::from_secs(120));
+            let rx_done = sim.world().flow_rx(flow_id(a, 0)).delivered_bytes();
+            (rx_done, sim.world().link_stats(fwd).drops_down)
+        };
+        let (clean_bytes, clean_down) = run(false);
+        let (flap_bytes, flap_down) = run(true);
+        assert_eq!(clean_bytes, 500_000);
+        assert_eq!(flap_bytes, 500_000, "delivery survives flap + loss");
+        assert_eq!(clean_down, 0);
+        assert!(flap_down > 0, "the flap dropped something");
+    }
+
+    /// Fires a periodic timer and logs every fire; records restarts.
+    struct Heartbeat {
+        period: SimDuration,
+        fires: Vec<SimTime>,
+        restarts: Vec<SimTime>,
+    }
+    impl App for Heartbeat {
+        fn start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+            self.fires.push(ctx.now());
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_restart(&mut self, ctx: &mut Ctx) {
+            self.restarts.push(ctx.now());
+            // Re-arm: the pre-crash timer chain died with the node.
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    #[test]
+    fn crashed_node_loses_timers_and_restart_reinitializes() {
+        let (t, a, _z) = two_nodes(1_000_000, 2);
+        let mut sim = Simulator::new(t, 8);
+        sim.add_app(
+            a,
+            Box::new(Heartbeat {
+                period: SimDuration::from_millis(100),
+                fires: vec![],
+                restarts: vec![],
+            }),
+        );
+        let mut faults = FaultSchedule::new();
+        faults.node_crash(
+            SimTime::from_nanos(450_000_000),
+            a,
+            SimDuration::from_millis(400),
+        );
+        sim.inject_faults(&faults);
+        sim.run_until(SimTime::from_secs(2));
+        let hb = sim
+            .app::<Heartbeat>(a)
+            .expect("invariant: Heartbeat installed on a");
+        assert_eq!(hb.restarts, vec![SimTime::from_nanos(850_000_000)]);
+        // Fires at 100..400 ms, silence through the outage (the 500 ms
+        // pre-crash timer dies with its incarnation), then the restart
+        // re-arms: 950 ms onward.
+        let expect_head: Vec<_> = (1..=4)
+            .map(|i| SimTime::from_nanos(i * 100_000_000))
+            .collect();
+        assert_eq!(&hb.fires[..4], &expect_head[..]);
+        assert_eq!(hb.fires[4], SimTime::from_nanos(950_000_000));
+        assert_eq!(hb.fires.len(), 4 + 11, "steady 100 ms cadence resumes");
+    }
+
+    #[test]
+    fn crashed_node_aborts_its_flows_and_notifies_peers() {
+        struct CrashWatch {
+            aborted: Vec<(SimTime, FlowId)>,
+        }
+        impl App for CrashWatch {
+            fn on_flow_aborted(&mut self, ctx: &mut Ctx, flow: FlowId) {
+                self.aborted.push((ctx.now(), flow));
+            }
+        }
+        let (t, a, z) = two_nodes(1_000_000, 5);
+        let mut sim = Simulator::new(t, 9);
+        sim.add_app(
+            a,
+            Box::new(Sender {
+                dst: z,
+                bytes: 10_000_000, // cannot finish before the crash
+                flow: None,
+                drained_at: None,
+            }),
+        );
+        sim.add_app(z, Box::new(CrashWatch { aborted: vec![] }));
+        let mut faults = FaultSchedule::new();
+        faults.node_crash(SimTime::from_secs(1), a, SimDuration::from_secs(1));
+        sim.inject_faults(&faults);
+        sim.run_until(SimTime::from_secs(5));
+        let f = flow_id(a, 0);
+        assert!(sim.world().flow(f).is_aborted(), "sender half aborted");
+        assert!(sim.world().flow_rx(f).is_aborted(), "receiver half aborted");
+        let w = sim
+            .app::<CrashWatch>(z)
+            .expect("invariant: CrashWatch installed on z");
+        // The abort record travels at path propagation delay (5 ms).
+        assert_eq!(w.aborted, vec![(SimTime::from_nanos(1_005_000_000), f)]);
+    }
+
+    #[test]
+    fn crash_purges_the_nodes_flow_watches() {
+        // Satellite regression: watches held by a crashed node must be
+        // purged (and their queued progress entries dropped) — before
+        // the fix nothing removed them, so a reborn watcher inherited a
+        // ghost watch and stale progress.
+        let (t, a, z) = two_nodes(1_000_000, 2);
+        let mut sim = Simulator::new(t, 10);
+        sim.add_app(
+            a,
+            Box::new(Sender {
+                dst: z,
+                bytes: 10_000_000,
+                flow: None,
+                drained_at: None,
+            }),
+        );
+        sim.add_app(
+            z,
+            Box::new(ProgressWatcher {
+                watched: flow_id(a, 0),
+                offset: SimDuration::from_millis(10),
+                period: SimDuration::from_millis(10),
+                log: Vec::new(),
+                scratch: Vec::new(),
+            }),
+        );
+        let mut faults = FaultSchedule::new();
+        faults.node_crash(SimTime::from_secs(1), z, SimDuration::from_secs(1));
+        sim.inject_faults(&faults);
+        sim.run_until(SimTime::from_secs(3));
+        let f = flow_id(a, 0);
+        let world = sim.world();
+        assert!(
+            world.watch_rx.get(f).is_none(),
+            "crash must purge the dead node's watch"
+        );
+        assert!(
+            world.progress_rx.is_empty(),
+            "queued progress for purged watches must be dropped"
+        );
+        let w = sim
+            .app::<ProgressWatcher>(z)
+            .expect("invariant: ProgressWatcher installed on z");
+        // The drain timer at exactly t = 1 s still fires (node lane
+        // sorts before the fault lane at equal time); nothing after.
+        assert!(
+            w.log.last().expect("some drains happened").0 <= SimTime::from_secs(1),
+            "no progress credited after the watch died"
+        );
+    }
+
+    #[test]
+    fn faults_are_shard_invariant() {
+        // The same explicit fault schedule (one leaf link flap + one
+        // leaf crash) must produce byte-identical outcomes in every
+        // sharding — fault events ride canonical lanes.
+        let run = |assignment: Option<Vec<u32>>| {
+            let (t, hub, leaves) = star(4);
+            let flapped_link = LinkId(0); // leaves[0] -> hub
+            let mut sim = match assignment {
+                None => Simulator::new(t, 29),
+                Some(a) => Simulator::new_sharded(t, 29, a),
+            };
+            for (i, &n) in leaves.iter().enumerate() {
+                sim.add_app(
+                    n,
+                    Box::new(Sender {
+                        dst: hub,
+                        bytes: 100_000 * (i as u64 + 1),
+                        flow: None,
+                        drained_at: None,
+                    }),
+                );
+            }
+            sim.add_app(hub, Box::new(Receiver::default()));
+            let mut faults = FaultSchedule::new();
+            faults
+                .link_down(
+                    SimTime::from_nanos(200_000_000),
+                    flapped_link,
+                    SimDuration::from_millis(300),
+                )
+                .node_crash(SimTime::from_secs(1), leaves[1], SimDuration::from_secs(2));
+            sim.inject_faults(&faults);
+            sim.run_until(SimTime::from_secs(20));
+            let got = sim
+                .app::<Receiver>(hub)
+                .expect("invariant: Receiver installed on hub")
+                .got
+                .clone();
+            let drains: Vec<_> = leaves
+                .iter()
+                .map(|&n| {
+                    sim.app::<Sender>(n)
+                        .expect("invariant: Sender installed on every leaf")
+                        .drained_at
+                })
+                .collect();
+            (got, drains, sim.total_drops())
+        };
+        let single = run(None);
+        assert!(single.2 > 0, "the schedule dropped something");
+        assert_eq!(single, run(Some(vec![0, 1, 1, 2, 2])));
+        assert_eq!(single, run(Some(vec![0, 1, 2, 3, 4])));
+        assert_eq!(single, run(Some(vec![0, 0, 1, 0, 1])));
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier watchdog")]
+    fn barrier_watchdog_dumps_instead_of_hanging() {
+        use std::sync::atomic::AtomicBool;
+        // A shard wedged inside an app callback: its peer must trip the
+        // watchdog and abort the run rather than park forever. The
+        // staller's release comes from a host-side thread so the scoped
+        // threads can all be joined once the panic propagates.
+        static RELEASED: AtomicBool = AtomicBool::new(false);
+        struct Staller;
+        impl App for Staller {
+            fn start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {
+                while !RELEASED.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        let (t, a, z) = two_nodes(1_000_000, 5);
+        let mut sim = Simulator::new_sharded(t, 12, vec![0, 1]);
+        sim.add_app(a, Box::new(Staller));
+        sim.add_app(
+            z,
+            Box::new(Sender {
+                dst: a,
+                bytes: 100_000,
+                flow: None,
+                drained_at: None,
+            }),
+        );
+        sim.set_barrier_watchdog(std::time::Duration::from_millis(200));
+        let releaser = std::thread::spawn(|| {
+            std::thread::sleep(std::time::Duration::from_secs(1));
+            RELEASED.store(true, Ordering::Release);
+        });
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_until(SimTime::from_secs(5));
+        }));
+        releaser.join().expect("releaser thread exits");
+        if let Err(panic) = run {
+            std::panic::resume_unwind(panic);
+        }
     }
 }

@@ -9,7 +9,15 @@
 //! within a run), matching the append-only lifetime the simulator's
 //! flow tables already had.
 
-use crate::packet::FlowId;
+use crate::packet::{FlowId, NodeId, FLOW_NTH_BITS};
+
+/// Recompose the packed [`FlowId`] from slab coordinates (inverse of
+/// [`FlowId::node_index`] / [`FlowId::per_node_index`]).
+fn compose(node: usize, nth: usize) -> FlowId {
+    let node = u32::try_from(node).expect("invariant: node index fits u32");
+    let nth = u32::try_from(nth).expect("invariant: per-node flow index fits u32");
+    FlowId((node << FLOW_NTH_BITS) | nth)
+}
 
 /// A two-level slab keyed by packed [`FlowId`]: outer index the opening
 /// node, inner index the node's flow counter.
@@ -75,6 +83,30 @@ impl<T> FlowSlab<T> {
         v
     }
 
+    /// Iterate every stored `(id, value)` pair, in `(node, counter)`
+    /// order — deterministic, so callers may act on entries in iteration
+    /// order without breaking shard-count invariance.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &T)> {
+        self.per_node.iter().enumerate().flat_map(|(node, lane)| {
+            lane.iter()
+                .enumerate()
+                .filter_map(move |(nth, v)| v.as_ref().map(|v| (compose(node, nth), v)))
+        })
+    }
+
+    /// Iterate the stored `(id, value)` pairs whose ids were allocated
+    /// by `node`, in counter order.
+    pub fn node_iter(&self, node: NodeId) -> impl Iterator<Item = (FlowId, &T)> {
+        let idx = usize::try_from(node.0).expect("invariant: node index fits usize");
+        self.per_node
+            .get(idx)
+            .map(|l| l.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+            .filter_map(move |(nth, v)| v.as_ref().map(|v| (compose(idx, nth), v)))
+    }
+
     /// Number of stored values.
     pub fn len(&self) -> usize {
         self.len
@@ -127,5 +159,32 @@ mod tests {
     fn lookups_outside_the_node_range_are_none() {
         let s: FlowSlab<u8> = FlowSlab::new(1);
         assert_eq!(s.get(flow_id(NodeId(3), 0)), None);
+    }
+
+    #[test]
+    fn iteration_is_ordered_and_node_scoped() {
+        let mut s: FlowSlab<u32> = FlowSlab::new(4);
+        let ids = [
+            flow_id(NodeId(2), 1),
+            flow_id(NodeId(0), 0),
+            flow_id(NodeId(2), 0),
+            flow_id(NodeId(3), 5),
+        ];
+        for (i, &id) in ids.iter().enumerate() {
+            s.insert(id, u32::try_from(i).expect("small"));
+        }
+        s.take(flow_id(NodeId(2), 0));
+        let all: Vec<_> = s.iter().map(|(id, &v)| (id, v)).collect();
+        assert_eq!(
+            all,
+            vec![
+                (flow_id(NodeId(0), 0), 1),
+                (flow_id(NodeId(2), 1), 0),
+                (flow_id(NodeId(3), 5), 3),
+            ]
+        );
+        let of_2: Vec<_> = s.node_iter(NodeId(2)).map(|(id, &v)| (id, v)).collect();
+        assert_eq!(of_2, vec![(flow_id(NodeId(2), 1), 0)]);
+        assert_eq!(s.node_iter(NodeId(9)).count(), 0, "out of range is empty");
     }
 }

@@ -103,7 +103,7 @@ fn same_name_and_seed_is_deterministic_through_the_driver() {
     // mask a simulation that ignores its seed.
     let other_opts = RunOptions {
         seed: 0x5ea4 + 100,
-        ..opts
+        ..opts.clone()
     };
     let other = driver::execute(entry, &other_opts);
     let payload = |run: &driver::EntryRun, o: &RunOptions| -> String {

@@ -23,6 +23,7 @@ fn opts(seconds: u64, shards: u32) -> RunOptions {
         shards,
         thinners: None,
         sync_period: None,
+        faults: Vec::new(),
     }
 }
 
